@@ -1,0 +1,40 @@
+//! Criterion bench for the ablation kernels (A1 overhead, A2 churn,
+//! A3 combine, A4 selfish). Prints the Quick-scale A1 cost table once —
+//! the §4.3 `nhop+2c` vs `nhop+2m` comparison — then benchmarks each
+//! ablation runner. Paper-scale numbers: `cargo run --release -p prop-experiments --bin ablation`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prop_experiments::ablation;
+use prop_experiments::setup::Scale;
+use std::hint::black_box;
+use std::time::Duration as StdDuration;
+
+fn print_overhead_once() {
+    let r = ablation::overhead(Scale::Quick, 1);
+    println!("\nA1 at Quick scale — per-adjustment message cost:");
+    for row in &r.rows {
+        println!(
+            "  {:<18} msgs/trial {:>7.2}  (predicted {:>7.2})  exchanges {}",
+            row.label, row.msgs_per_trial, row.predicted_msgs_per_trial, row.exchanges
+        );
+    }
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    print_overhead_once();
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10).measurement_time(StdDuration::from_secs(30));
+    g.bench_function("a1_overhead_quick", |b| {
+        b.iter(|| black_box(ablation::overhead(Scale::Quick, 1)))
+    });
+    g.bench_function("a2_churn_quick", |b| {
+        b.iter(|| black_box(ablation::churn(Scale::Quick, 1)))
+    });
+    g.bench_function("a4_selfish_quick", |b| {
+        b.iter(|| black_box(ablation::selfish_vs_prop(Scale::Quick, 1)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

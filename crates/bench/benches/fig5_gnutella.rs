@@ -1,0 +1,52 @@
+//! Criterion bench for the Figure 5 kernels (PROP-G over Gnutella).
+//!
+//! Prints the regenerated panel series once (the rows the paper plots),
+//! then benchmarks the experiment kernel and its dominant inner loops at
+//! Quick scale. Run the paper-scale numbers with
+//! `cargo run --release -p prop-experiments --bin fig5`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prop_core::PropConfig;
+use prop_experiments::fig5;
+use prop_experiments::setup::{Scale, Scenario, Topology};
+use std::hint::black_box;
+use std::time::Duration as StdDuration;
+
+fn print_panel_once() {
+    let curves = fig5::panel_c(Scale::Quick, 1);
+    println!("\nFig 5(c) series at Quick scale (avg lookup latency, ms):");
+    for c in &curves {
+        println!(
+            "  {:<12} start {:>8.1}  end {:>8.1}  improvement {:>5.1}%",
+            c.series.label,
+            c.series.first_value().unwrap_or(f64::NAN),
+            c.series.last_value().unwrap_or(f64::NAN),
+            c.improvement * 100.0
+        );
+    }
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    print_panel_once();
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10).measurement_time(StdDuration::from_secs(20));
+
+    let scenario = Scenario::build(Topology::TsSmall, 120, 1);
+    g.bench_function("run_curve_quick_n120", |b| {
+        b.iter(|| {
+            black_box(fig5::run_curve(
+                &scenario,
+                PropConfig::prop_g(),
+                Scale::Quick,
+                "bench".into(),
+            ))
+        })
+    });
+
+    g.bench_function("panel_c_quick", |b| b.iter(|| black_box(fig5::panel_c(Scale::Quick, 1))));
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion bench for the Figure 6 kernels (PROP-G over Chord).
+//!
+//! Prints the regenerated panel series once, then benchmarks the Chord
+//! experiment kernel and the identifier-swap hot path. Paper-scale numbers:
+//! `cargo run --release -p prop-experiments --bin fig6`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prop_core::PropConfig;
+use prop_engine::SimRng;
+use prop_experiments::fig6;
+use prop_experiments::setup::{Scale, Scenario, Topology};
+use prop_overlay::chord::{Chord, ChordParams};
+use prop_overlay::{Lookup, Slot};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration as StdDuration;
+
+fn print_panel_once() {
+    let curves = fig6::panel_c(Scale::Quick, 1);
+    println!("\nFig 6(c) series at Quick scale (stretch):");
+    for c in &curves {
+        println!(
+            "  {:<12} start {:>6.2}  end {:>6.2}  improvement {:>5.1}%",
+            c.series.label,
+            c.series.first_value().unwrap_or(f64::NAN),
+            c.series.last_value().unwrap_or(f64::NAN),
+            c.improvement * 100.0
+        );
+    }
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    print_panel_once();
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10).measurement_time(StdDuration::from_secs(20));
+
+    let scenario = Scenario::build(Topology::TsSmall, 120, 1);
+    g.bench_function("run_curve_quick_n120", |b| {
+        b.iter(|| {
+            black_box(fig6::run_curve(
+                &scenario,
+                PropConfig::prop_g(),
+                Scale::Quick,
+                "bench".into(),
+            ))
+        })
+    });
+
+    // Chord routing microbench: one lookup over a 500-node ring.
+    let mut rng = SimRng::seed_from(2);
+    let scenario2 = Scenario::build(Topology::TsSmall, 500, 2);
+    let (chord, net) = Chord::build(ChordParams::default(), Arc::clone(&scenario2.oracle), &mut rng);
+    g.bench_function("chord_lookup_n500", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 97) % 500;
+            let j = (i * 13 + 7) % 500;
+            black_box(chord.lookup(&net, Slot(i), Slot(j)))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

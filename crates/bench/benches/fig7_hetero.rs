@@ -1,0 +1,40 @@
+//! Criterion bench for the Figure 7 kernel (PROP-O vs PROP-G vs LTM under
+//! bimodal heterogeneity).
+//!
+//! Prints the regenerated sweep once, then benchmarks the full Quick-scale
+//! sweep (all five schemes, five workload fractions). Paper-scale numbers:
+//! `cargo run --release -p prop-experiments --bin fig7`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prop_experiments::fig7;
+use prop_experiments::setup::Scale;
+use std::hint::black_box;
+use std::time::Duration as StdDuration;
+
+fn print_sweep_once() {
+    let curves = fig7::run(Scale::Quick, 1);
+    println!("\nFig 7 at Quick scale (normalized avg lookup delay):");
+    print!("{:>10}", "frac_fast");
+    for c in &curves {
+        print!("  {:>14}", c.label);
+    }
+    println!();
+    for r in 0..curves[0].points.len() {
+        print!("{:>10.2}", curves[0].points[r].0);
+        for c in &curves {
+            print!("  {:>14.3}", c.points[r].1);
+        }
+        println!();
+    }
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    print_sweep_once();
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10).measurement_time(StdDuration::from_secs(40));
+    g.bench_function("full_sweep_quick", |b| b.iter(|| black_box(fig7::run(Scale::Quick, 1))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,187 @@
+//! Microbenchmarks for the hot kernels underneath every experiment:
+//! topology generation, the latency-oracle APSP, flood lookups, probe
+//! walks, and exchange planning/application.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use prop_core::exchange;
+use prop_engine::SimRng;
+use prop_netsim::{generate, LatencyOracle, TransitStubParams};
+use prop_overlay::gnutella::{Gnutella, GnutellaParams};
+use prop_overlay::walk::random_walk;
+use prop_overlay::{OverlayNet, Slot};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration as StdDuration;
+
+fn gnutella_net(n: usize, seed: u64) -> (Gnutella, OverlayNet, SimRng) {
+    let mut rng = SimRng::seed_from(seed);
+    let phys = generate(&TransitStubParams::ts_large(), &mut rng);
+    let oracle = Arc::new(LatencyOracle::select_and_build(&phys, n, &mut rng));
+    let (gn, net) = Gnutella::build(GnutellaParams::default(), oracle, &mut rng);
+    (gn, net, rng)
+}
+
+fn bench_netsim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netsim");
+    g.sample_size(10).measurement_time(StdDuration::from_secs(15));
+
+    g.bench_function("generate_ts_large", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::seed_from(1);
+            black_box(generate(&TransitStubParams::ts_large(), &mut rng))
+        })
+    });
+
+    let mut rng = SimRng::seed_from(1);
+    let phys = generate(&TransitStubParams::ts_large(), &mut rng);
+    g.bench_function("oracle_apsp_500_members", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::seed_from(2);
+            black_box(LatencyOracle::select_and_build(&phys, 500, &mut rng))
+        })
+    });
+    g.finish();
+}
+
+fn bench_overlay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("overlay");
+    g.sample_size(20).measurement_time(StdDuration::from_secs(15));
+
+    let (_, net, _) = gnutella_net(1000, 3);
+    g.bench_function("flood_lookup_ttl7_n1000", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 131) % 1000;
+            let j = (i * 17 + 3) % 1000;
+            black_box(net.min_latency_within_hops(Slot(i), Slot(j), 7))
+        })
+    });
+
+    g.bench_function("random_walk_nhops2", |b| {
+        let mut rng = SimRng::seed_from(4);
+        b.iter(|| {
+            let u = Slot(rng.range(0..1000u32));
+            let first = net.graph().neighbors(u)[0];
+            black_box(random_walk(net.graph(), u, first, 2, &mut rng))
+        })
+    });
+
+    g.bench_function("total_link_latency_n1000", |b| {
+        b.iter(|| black_box(net.total_link_latency()))
+    });
+    g.finish();
+}
+
+fn bench_dhts(c: &mut Criterion) {
+    use prop_overlay::chord::{Chord, ChordParams};
+    use prop_overlay::kademlia::{Kademlia, KademliaParams};
+    use prop_overlay::pastry::{Pastry, PastryParams};
+    use prop_overlay::Lookup;
+
+    let mut g = c.benchmark_group("dht_routing");
+    g.sample_size(30).measurement_time(StdDuration::from_secs(15));
+
+    let mut rng = SimRng::seed_from(11);
+    let phys = generate(&TransitStubParams::ts_large(), &mut rng);
+    let oracle = Arc::new(LatencyOracle::select_and_build(&phys, 1000, &mut rng));
+
+    let (chord, chord_net) =
+        Chord::build(ChordParams::default(), Arc::clone(&oracle), &mut rng);
+    g.bench_function("chord_lookup_n1000", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 137) % 1000;
+            black_box(chord.lookup(&chord_net, Slot(i), Slot((i * 31 + 5) % 1000)))
+        })
+    });
+
+    let (pastry, pastry_net) =
+        Pastry::build(PastryParams::default(), Arc::clone(&oracle), &mut rng);
+    g.bench_function("pastry_lookup_n1000", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 137) % 1000;
+            black_box(pastry.lookup(&pastry_net, Slot(i), Slot((i * 31 + 5) % 1000)))
+        })
+    });
+
+    let (kad, kad_net) =
+        Kademlia::build(KademliaParams::default(), Arc::clone(&oracle), &mut rng);
+    g.bench_function("kademlia_lookup_n1000", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 137) % 1000;
+            black_box(kad.lookup(&kad_net, Slot(i), Slot((i * 31 + 5) % 1000)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_protocol_drivers(c: &mut Criterion) {
+    use prop_core::{AsyncProtocolSim, PropConfig, ProtocolSim};
+    use prop_engine::Duration;
+
+    let mut g = c.benchmark_group("protocol_drivers");
+    g.sample_size(10).measurement_time(StdDuration::from_secs(20));
+
+    g.bench_function("sync_driver_n200_30min", |b| {
+        b.iter(|| {
+            let (_, net, mut rng) = gnutella_net(200, 13);
+            let mut sim = ProtocolSim::new(net, PropConfig::prop_g(), &mut rng);
+            sim.run_for(Duration::from_minutes(30));
+            black_box(sim.overhead())
+        })
+    });
+
+    g.bench_function("async_driver_n200_30min", |b| {
+        b.iter(|| {
+            let (_, net, mut rng) = gnutella_net(200, 13);
+            let mut sim = AsyncProtocolSim::new(net, PropConfig::prop_g(), &mut rng);
+            sim.run_for(Duration::from_minutes(30));
+            black_box(sim.stats())
+        })
+    });
+    g.finish();
+}
+
+fn bench_exchange(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exchange");
+    g.sample_size(30).measurement_time(StdDuration::from_secs(15));
+
+    let (_, net, _) = gnutella_net(1000, 5);
+    g.bench_function("plan_propg", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 211) % 1000;
+            let j = (i * 29 + 11) % 1000;
+            black_box(exchange::plan_propg(&net, Slot(i), Slot(j)))
+        })
+    });
+
+    g.bench_function("plan_propo_m4", |b| {
+        let mut rng = SimRng::seed_from(6);
+        b.iter(|| {
+            let u = Slot(rng.range(0..1000u32));
+            let first = net.graph().neighbors(u)[0];
+            let walk = random_walk(net.graph(), u, first, 2, &mut rng);
+            black_box(exchange::plan_propo(&net, &walk, 4))
+        })
+    });
+
+    g.bench_function("apply_swap_and_back", |b| {
+        let (_, net0, _) = gnutella_net(200, 7);
+        b.iter_batched(
+            || net0.placement().clone(),
+            |_p| {
+                // swap + unswap keeps state clean across iterations
+                let plan = exchange::plan_propg(&net0, Slot(1), Slot(2));
+                black_box(plan.var)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_netsim, bench_overlay, bench_dhts, bench_protocol_drivers, bench_exchange);
+criterion_main!(benches);

@@ -1,0 +1,496 @@
+//! The event-driven PROP simulation driver.
+//!
+//! Runs one [`NodeState`] per live slot on the [`prop_engine::EventQueue`]:
+//! every `Probe(slot)` event performs one §3.2 trial —
+//!
+//! 1. choose the counterpart (`nhops` random walk entered via the
+//!    `neighborq` first hop, or a uniformly random node in the idealized
+//!    `Random` probe mode);
+//! 2. evaluate `Var` for the policy's exchange shape;
+//! 3. if `Var > MIN_VAR`, perform the exchange and the bookkeeping
+//!    (position/identifier swap + queue rebuilds for PROP-G; edge moves +
+//!    queue patches for PROP-O; neighbor notifications counted);
+//! 4. reschedule per the node's phase/timer.
+//!
+//! The driver also owns the §4.3 message accounting ([`Overhead`]) and the
+//! churn entry points used by the dynamic-environment experiments.
+
+use crate::config::{ProbeMode, PropConfig};
+use crate::exchange::{self, PlanKind};
+use crate::protocol::NodeState;
+use prop_engine::{Duration, EventQueue, SimRng, SimTime};
+use prop_overlay::walk::{random_walk, WalkPath};
+use prop_overlay::{OverlayNet, Slot};
+use serde::{Deserialize, Serialize};
+
+/// §4.3 cost accounting, cumulative since simulation start.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Overhead {
+    /// Probe trials performed.
+    pub trials: u64,
+    /// Trials that ended in an exchange.
+    pub exchanges: u64,
+    /// Walk-forwarding messages (`nhop` per trial).
+    pub walk_msgs: u64,
+    /// Hypothetical-neighbor probing messages (`2c` for PROP-G, `2m` for
+    /// PROP-O, per trial that produced a plan).
+    pub probe_msgs: u64,
+    /// Post-exchange routing-table notifications.
+    pub notify_msgs: u64,
+}
+
+impl Overhead {
+    /// Messages of all kinds.
+    pub fn total_msgs(&self) -> u64 {
+        self.walk_msgs + self.probe_msgs + self.notify_msgs
+    }
+
+    /// Counter-wise difference (`self` − `earlier`), for windowed rates.
+    pub fn since(&self, earlier: &Overhead) -> Overhead {
+        Overhead {
+            trials: self.trials - earlier.trials,
+            exchanges: self.exchanges - earlier.exchanges,
+            walk_msgs: self.walk_msgs - earlier.walk_msgs,
+            probe_msgs: self.probe_msgs - earlier.probe_msgs,
+            notify_msgs: self.notify_msgs - earlier.notify_msgs,
+        }
+    }
+}
+
+enum Ev {
+    Probe(Slot),
+}
+
+/// A whole overlay of PROP nodes, runnable to any simulated time.
+pub struct ProtocolSim {
+    net: OverlayNet,
+    cfg: PropConfig,
+    nodes: Vec<Option<NodeState>>,
+    events: EventQueue<Ev>,
+    rng: SimRng,
+    /// Resolved δ(G) at start — the default PROP-O `m`.
+    m_default: usize,
+    overhead: Overhead,
+}
+
+impl ProtocolSim {
+    /// Start the protocol on `net`: every live slot gets a fresh node state
+    /// and a first probe at a random offset within `INIT_TIMER`
+    /// (desynchronizing the population, as independent joins would).
+    pub fn new(net: OverlayNet, cfg: PropConfig, rng: &mut SimRng) -> Self {
+        let mut rng = rng.fork("prop-sim");
+        let m_default = net.graph().min_degree().unwrap_or(1).max(1);
+        let n = net.graph().num_slots();
+        let mut nodes: Vec<Option<NodeState>> = Vec::with_capacity(n);
+        let mut events = EventQueue::new();
+        for i in 0..n {
+            let slot = Slot(i as u32);
+            if net.graph().is_alive(slot) {
+                nodes.push(Some(NodeState::new(&cfg, net.graph(), slot, &mut rng)));
+                let offset = Duration::from_millis(rng.range(0..cfg.init_timer.as_millis().max(1)));
+                events.schedule_at(SimTime::ZERO + offset, Ev::Probe(slot));
+            } else {
+                nodes.push(None);
+            }
+        }
+        ProtocolSim { net, cfg, nodes, events, rng, m_default, overhead: Overhead::default() }
+    }
+
+    /// The overlay under optimization.
+    pub fn net(&self) -> &OverlayNet {
+        &self.net
+    }
+
+    /// Mutable overlay access (churn glue lives in the experiment layer).
+    pub fn net_mut(&mut self) -> &mut OverlayNet {
+        &mut self.net
+    }
+
+    /// Consume the simulation, keeping the optimized overlay.
+    pub fn into_net(self) -> OverlayNet {
+        self.net
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.events.now()
+    }
+
+    /// Cumulative message/trial accounting.
+    pub fn overhead(&self) -> Overhead {
+        self.overhead
+    }
+
+    /// The resolved default PROP-O exchange size (δ(G) at start).
+    pub fn m_default(&self) -> usize {
+        self.m_default
+    }
+
+    /// Run all events up to and including `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some((_, ev)) = self.events.pop_until(deadline) {
+            match ev {
+                Ev::Probe(slot) => self.probe(slot),
+            }
+        }
+    }
+
+    /// Convenience: advance the clock by `window`.
+    pub fn run_for(&mut self, window: Duration) {
+        let deadline = self.now() + window;
+        self.run_until(deadline);
+    }
+
+    fn probe(&mut self, slot: Slot) {
+        if self.nodes[slot.index()].is_none() || !self.net.graph().is_alive(slot) {
+            return; // departed while the event was pending
+        }
+
+        let (walk, first_hop) = match self.cfg.probe {
+            ProbeMode::Walk { nhops } => {
+                let Some(first) = self.nodes[slot.index()].as_ref().unwrap().next_first_hop()
+                else {
+                    // Isolated node: try again later.
+                    self.reschedule(slot);
+                    return;
+                };
+                // The queue can briefly hold a stale entry between churn and
+                // resync; fall back to any current neighbor.
+                let first = if self.net.graph().has_edge(slot, first) {
+                    first
+                } else {
+                    let ns = self.net.graph().neighbors(slot);
+                    match ns.first() {
+                        Some(&f) => f,
+                        None => {
+                            self.reschedule(slot);
+                            return;
+                        }
+                    }
+                };
+                self.overhead.walk_msgs += nhops as u64;
+                let w = random_walk(self.net.graph(), slot, first, nhops, &mut self.rng);
+                (w, Some(first))
+            }
+            ProbeMode::Random => {
+                let live: Vec<Slot> =
+                    self.net.graph().live_slots().filter(|&s| s != slot).collect();
+                match self.rng.pick(&live) {
+                    Some(&v) => (WalkPath { path: vec![slot, v] }, None),
+                    None => {
+                        self.reschedule(slot);
+                        return;
+                    }
+                }
+            }
+        };
+
+        self.overhead.trials += 1;
+
+        // A walk that could not reach its full TTL yields no counterpart.
+        let full_len = match self.cfg.probe {
+            ProbeMode::Walk { nhops } => walk.counterpart(nhops).is_some(),
+            ProbeMode::Random => true,
+        };
+
+        let mut exchanged = false;
+        if full_len {
+            if let Some(plan) =
+                exchange::plan_exchange(&self.net, self.cfg.policy, &walk, self.m_default)
+            {
+                // Probing cost of evaluating the hypothetical neighborhoods.
+                self.overhead.probe_msgs += match &plan.kind {
+                    PlanKind::SwapAll => (self.net.graph().degree(plan.u)
+                        + self.net.graph().degree(plan.v))
+                        as u64,
+                    PlanKind::Subset { from_u, from_v } => (from_u.len() + from_v.len()) as u64,
+                };
+                if plan.var > self.cfg.min_var {
+                    self.perform(&plan);
+                    exchanged = true;
+                }
+            }
+        }
+
+        let cfg = self.cfg.clone();
+        if let Some(state) = self.nodes[slot.index()].as_mut() {
+            state.record_trial(&cfg, first_hop, exchanged);
+        }
+        self.reschedule(slot);
+    }
+
+    fn perform(&mut self, plan: &exchange::ExchangePlan) {
+        let (u, v) = (plan.u, plan.v);
+        self.overhead.exchanges += 1;
+        exchange::apply(&mut self.net, plan);
+        match &plan.kind {
+            PlanKind::SwapAll => {
+                // Peers traded slots: their protocol state travels with
+                // them, then sees a brand-new neighborhood.
+                self.nodes.swap(u.index(), v.index());
+                for &s in &[u, v] {
+                    if let Some(state) = self.nodes[s.index()].as_mut() {
+                        state.reinit_queue(self.net.graph(), s, &mut self.rng);
+                        state.on_exchanged();
+                    }
+                }
+                // Every logical neighbor is notified to refresh latency
+                // bookkeeping (slot-level links are unchanged).
+                self.overhead.notify_msgs +=
+                    (self.net.graph().degree(u) + self.net.graph().degree(v)) as u64;
+            }
+            PlanKind::Subset { from_u, from_v } => {
+                if let Some(state) = self.nodes[u.index()].as_mut() {
+                    state.swap_queue_entries(from_u, from_v);
+                    state.on_exchanged();
+                }
+                if let Some(state) = self.nodes[v.index()].as_mut() {
+                    state.swap_queue_entries(from_v, from_u);
+                    state.on_exchanged();
+                }
+                // The moved neighbors each changed one edge endpoint.
+                for &x in from_u {
+                    if let Some(state) = self.nodes[x.index()].as_mut() {
+                        state.swap_queue_entries(&[u], &[v]);
+                    }
+                }
+                for &y in from_v {
+                    if let Some(state) = self.nodes[y.index()].as_mut() {
+                        state.swap_queue_entries(&[v], &[u]);
+                    }
+                }
+                self.overhead.notify_msgs += (from_u.len() + from_v.len()) as u64;
+            }
+        }
+    }
+
+    fn reschedule(&mut self, slot: Slot) {
+        if let Some(state) = self.nodes[slot.index()].as_ref() {
+            let interval = state.probe_interval();
+            self.events.schedule_in(interval, Ev::Probe(slot));
+        }
+    }
+
+    // ----- churn entry points (called by the experiment layer after it
+    // ----- mutates the overlay through the overlay's own join/leave) -----
+
+    /// A peer joined at `slot` (already wired in the overlay). Starts its
+    /// protocol instance and notifies its neighbors.
+    pub fn handle_join(&mut self, slot: Slot) {
+        debug_assert!(self.net.graph().is_alive(slot));
+        if self.nodes.len() < self.net.graph().num_slots() {
+            self.nodes.resize_with(self.net.graph().num_slots(), || None);
+        }
+        let state = NodeState::new(&self.cfg, self.net.graph(), slot, &mut self.rng);
+        self.nodes[slot.index()] = Some(state);
+        let offset = Duration::from_millis(
+            self.rng.range(0..self.cfg.init_timer.as_millis().max(1)),
+        );
+        self.events.schedule_in(offset, Ev::Probe(slot));
+        let neighbors: Vec<Slot> = self.net.graph().neighbors(slot).to_vec();
+        self.notify_neighborhood_change(&neighbors);
+    }
+
+    /// The peer at `slot` departed (the overlay has already removed it and
+    /// patched around the hole). `affected` are the slots whose neighbor
+    /// lists changed.
+    pub fn handle_leave(&mut self, slot: Slot, affected: &[Slot]) {
+        self.nodes[slot.index()] = None;
+        self.notify_neighborhood_change(affected);
+    }
+
+    /// The overlay rewired some nodes' neighbor lists outside the protocol
+    /// (e.g. a DHT stabilization pass after a join): reset their timers and
+    /// resync their queues, per the paper's churn handling.
+    pub fn handle_rewire(&mut self, affected: &[Slot]) {
+        self.notify_neighborhood_change(affected);
+    }
+
+    fn notify_neighborhood_change(&mut self, affected: &[Slot]) {
+        for &w in affected {
+            if !self.net.graph().is_alive(w) {
+                continue;
+            }
+            if let Some(state) = self.nodes[w.index()].as_mut() {
+                let had_backoff = state.probe_interval() > self.cfg.init_timer;
+                state.on_neighborhood_changed(self.net.graph(), w);
+                // A reset node should also probe soon, not wait out a long
+                // previously-scheduled interval.
+                if had_backoff {
+                    self.events.schedule_in(self.cfg.init_timer, Ev::Probe(w));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prop_engine::Duration;
+    use prop_netsim::{generate, LatencyOracle, TransitStubParams};
+    use prop_overlay::gnutella::{Gnutella, GnutellaParams};
+    use std::sync::Arc;
+
+    fn gnutella_sim(n: usize, seed: u64, cfg: PropConfig) -> (Gnutella, ProtocolSim) {
+        let mut rng = SimRng::seed_from(seed);
+        let phys = generate(&TransitStubParams::tiny(), &mut rng);
+        let oracle = Arc::new(LatencyOracle::select_and_build(&phys, n, &mut rng));
+        let (gn, net) = Gnutella::build(GnutellaParams::default(), oracle, &mut rng);
+        let sim = ProtocolSim::new(net, cfg, &mut rng);
+        (gn, sim)
+    }
+
+    fn minutes(m: u64) -> Duration {
+        Duration::from_minutes(m)
+    }
+
+    #[test]
+    fn propg_reduces_total_link_latency() {
+        let (_, mut sim) = gnutella_sim(30, 1, PropConfig::prop_g());
+        let before = sim.net().total_link_latency();
+        sim.run_for(minutes(30));
+        let after = sim.net().total_link_latency();
+        assert!(sim.overhead().exchanges > 0, "no exchanges happened");
+        assert!(after < before, "latency did not improve: {before} → {after}");
+    }
+
+    #[test]
+    fn propo_reduces_total_link_latency_and_preserves_degrees() {
+        let (_, mut sim) = gnutella_sim(30, 2, PropConfig::prop_o());
+        let degseq = sim.net().graph().degree_sequence();
+        let before = sim.net().total_link_latency();
+        sim.run_for(minutes(30));
+        assert!(sim.overhead().exchanges > 0);
+        assert!(sim.net().total_link_latency() < before);
+        assert_eq!(sim.net().graph().degree_sequence(), degseq);
+    }
+
+    #[test]
+    fn connectivity_never_breaks() {
+        for (seed, cfg) in
+            [(3, PropConfig::prop_g()), (4, PropConfig::prop_o()), (5, PropConfig::prop_o_m(1))]
+        {
+            let (_, mut sim) = gnutella_sim(25, seed, cfg);
+            for _ in 0..20 {
+                sim.run_for(minutes(2));
+                assert!(sim.net().graph().is_connected());
+            }
+        }
+    }
+
+    #[test]
+    fn propg_keeps_logical_graph_isomorphic() {
+        let (_, mut sim) = gnutella_sim(25, 6, PropConfig::prop_g());
+        let edges: Vec<_> = sim.net().graph().edges().collect();
+        sim.run_for(minutes(40));
+        assert_eq!(edges, sim.net().graph().edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn random_probe_mode_works() {
+        let (_, mut sim) = gnutella_sim(
+            30,
+            7,
+            PropConfig::prop_g().with_probe(ProbeMode::Random),
+        );
+        let before = sim.net().total_link_latency();
+        sim.run_for(minutes(30));
+        assert!(sim.net().total_link_latency() < before);
+        assert_eq!(sim.overhead().walk_msgs, 0, "random probing sends no walk messages");
+    }
+
+    #[test]
+    fn overhead_accounting_is_consistent() {
+        let (_, mut sim) = gnutella_sim(25, 8, PropConfig::prop_g());
+        sim.run_for(minutes(20));
+        let o = sim.overhead();
+        assert!(o.trials > 0);
+        assert!(o.exchanges <= o.trials);
+        // Walk mode with nhops=2: exactly 2 walk messages per trial.
+        assert_eq!(o.walk_msgs, 2 * o.trials);
+        assert_eq!(o.total_msgs(), o.walk_msgs + o.probe_msgs + o.notify_msgs);
+        let half = sim.overhead();
+        sim.run_for(minutes(20));
+        let diff = sim.overhead().since(&half);
+        assert_eq!(diff.trials, sim.overhead().trials - half.trials);
+    }
+
+    #[test]
+    fn probe_rate_decays_after_warmup() {
+        let (_, mut sim) = gnutella_sim(30, 9, PropConfig::prop_g());
+        // Warm-up: 10 trials at 1/min ⇒ ~10 min of full-rate probing.
+        sim.run_for(minutes(15));
+        let early = sim.overhead().trials;
+        sim.run_for(minutes(15));
+        let mid = sim.overhead().trials - early;
+        sim.run_for(minutes(60));
+        let late_window = sim.overhead().trials - early - mid;
+        let early_rate = early as f64 / 15.0;
+        let late_rate = late_window as f64 / 60.0;
+        assert!(
+            late_rate < early_rate * 0.7,
+            "probe rate should decay: early {early_rate:.2}/min late {late_rate:.2}/min"
+        );
+    }
+
+    #[test]
+    fn churn_join_and_leave_keep_sim_running() {
+        let (gn, mut sim) = gnutella_sim(30, 10, PropConfig::prop_o());
+        sim.run_for(minutes(10));
+        let mut rng = SimRng::seed_from(1234);
+        // Three peers leave, then rejoin.
+        for victim in [2u32, 9, 17] {
+            let slot = Slot(victim);
+            let peer = sim.net().peer(slot);
+            let affected: Vec<Slot> = sim.net().graph().neighbors(slot).to_vec();
+            gn.leave(sim.net_mut(), slot, &mut rng);
+            sim.handle_leave(slot, &affected);
+            assert!(sim.net().graph().is_connected());
+            sim.run_for(minutes(3));
+            let new_slot = gn.join(sim.net_mut(), peer, &mut rng);
+            sim.handle_join(new_slot);
+            sim.run_for(minutes(3));
+            assert!(sim.net().graph().is_connected());
+        }
+        assert!(sim.net().placement().is_consistent());
+    }
+
+    #[test]
+    fn exchanges_happen_only_when_var_positive() {
+        // With MIN_VAR above any plausible gain, nothing should change.
+        let mut cfg = PropConfig::prop_g();
+        cfg.min_var = i64::MAX;
+        let (_, mut sim) = gnutella_sim(20, 11, cfg);
+        let before = sim.net().total_link_latency();
+        sim.run_for(minutes(30));
+        assert_eq!(sim.overhead().exchanges, 0);
+        assert_eq!(sim.net().total_link_latency(), before);
+    }
+
+    #[test]
+    fn nhops_one_limits_improvement() {
+        // Neighbor exchange (nhops=1) is expected to underperform nhops=2 —
+        // the Fig. 5(a)/6(a) observation.
+        let (_, mut sim1) = gnutella_sim(
+            40,
+            12,
+            PropConfig::prop_g().with_probe(ProbeMode::Walk { nhops: 1 }),
+        );
+        let (_, mut sim2) = gnutella_sim(
+            40,
+            12,
+            PropConfig::prop_g().with_probe(ProbeMode::Walk { nhops: 2 }),
+        );
+        let start = sim1.net().total_link_latency();
+        assert_eq!(start, sim2.net().total_link_latency());
+        sim1.run_for(minutes(60));
+        sim2.run_for(minutes(60));
+        let gain1 = start - sim1.net().total_link_latency();
+        let gain2 = start - sim2.net().total_link_latency();
+        assert!(
+            gain2 > gain1 / 2,
+            "nhops=2 should be competitive (gain1 {gain1}, gain2 {gain2})"
+        );
+    }
+}

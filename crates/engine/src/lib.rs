@@ -1,0 +1,32 @@
+//! # prop-engine — discrete-event simulation substrate
+//!
+//! The PROP protocols are *asynchronous*: every peer runs its own probe timer
+//! with Markov-style exponential backoff, churn arrives as a Poisson process,
+//! and the paper's evaluation plots metrics against wall-clock simulation
+//! time. This crate provides the minimal, deterministic kernel all of that
+//! runs on:
+//!
+//! * [`SimTime`] / [`Duration`] — a millisecond-granularity simulated clock.
+//! * [`EventQueue`] — a stable (FIFO within a timestamp) pending-event set.
+//! * [`SimRng`] — seedable, stream-splittable ChaCha8 randomness so every
+//!   experiment is reproducible bit-for-bit.
+//! * [`MarkovTimer`] — the paper's §3.2 probe-interval controller (double on
+//!   failure, reset on success or on exceeding `MAX_TIMER`).
+//! * [`stats`] — small online statistics helpers shared by the metrics and
+//!   experiment crates.
+//!
+//! The kernel is intentionally *pull-based*: the simulation driver pops
+//! `(time, event)` pairs and dispatches them itself. This keeps the kernel
+//! free of trait objects and borrows, which matters because handlers need
+//! `&mut` access to large shared state (the overlay, the latency oracle).
+
+pub mod backoff;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use backoff::MarkovTimer;
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use time::{Duration, SimTime};

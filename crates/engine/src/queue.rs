@@ -1,0 +1,235 @@
+//! The pending-event set.
+//!
+//! A classic calendar built on [`std::collections::BinaryHeap`]. Two details
+//! matter for reproducibility:
+//!
+//! 1. **Stable ordering.** Events scheduled for the same instant pop in the
+//!    order they were scheduled (FIFO), enforced by a monotonically
+//!    increasing sequence number. Without this, heap order would depend on
+//!    insertion history in ways that are easy to perturb and hard to debug.
+//! 2. **Monotonic clock.** Popping an event advances the queue's notion of
+//!    `now`; scheduling strictly in the past is a logic error and panics in
+//!    debug builds (it is clamped to `now` in release builds).
+
+use crate::time::{Duration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    time: SimTime,
+    seq: u64,
+}
+
+struct Entry<E> {
+    key: Key,
+    event: E,
+}
+
+// Manual impls: `E` need not be Ord/Eq, ordering is entirely by `key`.
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// A deterministic pending-event set: a min-heap keyed by `(time, seq)`.
+///
+/// ```
+/// use prop_engine::{EventQueue, SimTime, Duration};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule_at(SimTime(25), "later");
+/// q.schedule_at(SimTime(10), "sooner");
+/// assert_eq!(q.pop(), Some((SimTime(10), "sooner")));
+/// // The clock advanced; relative scheduling is now anchored at t = 10.
+/// q.schedule_in(Duration::from_millis(5), "relative");
+/// assert_eq!(q.pop(), Some((SimTime(15), "relative")));
+/// assert_eq!(q.pop(), Some((SimTime(25), "later")));
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    now: SimTime,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at `t = 0`.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+        }
+    }
+
+    /// The current simulated instant — the timestamp of the last popped
+    /// event, or `t = 0` if nothing has been popped yet.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `event` at absolute time `at`. Scheduling in the past is a
+    /// logic error: panics in debug builds, clamps to `now` in release.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        debug_assert!(at >= self.now, "scheduling into the past: {at:?} < {:?}", self.now);
+        let at = at.max(self.now);
+        let key = Key { time: at, seq: self.next_seq };
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { key, event }));
+    }
+
+    /// Schedule `event` a relative `delay` after `now`.
+    pub fn schedule_in(&mut self, delay: Duration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.0.key.time)
+    }
+
+    /// Pop the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(entry) = self.heap.pop()?;
+        self.now = entry.key.time;
+        Some((entry.key.time, entry.event))
+    }
+
+    /// Pop the earliest event only if it is scheduled at or before `deadline`.
+    /// The clock never advances past `deadline` through this method, so a
+    /// driver can interleave externally-clocked work at a fixed cadence.
+    pub fn pop_until(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        match self.peek_time() {
+            Some(t) if t <= deadline => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Drop every pending event, keeping the clock where it is.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(30), "c");
+        q.schedule_at(SimTime(10), "a");
+        q.schedule_at(SimTime(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn fifo_within_same_instant() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule_at(SimTime(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(42), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime(42));
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(100), 1u8);
+        q.pop();
+        q.schedule_in(Duration(50), 2u8);
+        let (t, e) = q.pop().unwrap();
+        assert_eq!((t, e), (SimTime(150), 2));
+    }
+
+    #[test]
+    fn pop_until_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(10), "early");
+        q.schedule_at(SimTime(100), "late");
+        assert_eq!(q.pop_until(SimTime(50)).map(|(_, e)| e), Some("early"));
+        assert_eq!(q.pop_until(SimTime(50)), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_until(SimTime(100)).map(|(_, e)| e), Some("late"));
+    }
+
+    #[test]
+    fn interleaved_scheduling_stays_stable() {
+        // Events scheduled from within the run loop keep global (time, seq)
+        // order, mimicking peers rescheduling their own timers.
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(1), 0u32);
+        let mut seen = Vec::new();
+        while let Some((t, e)) = q.pop() {
+            seen.push(e);
+            if e < 5 {
+                q.schedule_at(t + Duration(1), e + 1);
+                q.schedule_at(t + Duration(1), e + 100);
+            }
+        }
+        assert_eq!(seen, vec![0, 1, 100, 2, 101, 3, 102, 4, 103, 5, 104]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    #[cfg(debug_assertions)]
+    fn past_scheduling_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(10), ());
+        q.pop();
+        q.schedule_at(SimTime(5), ());
+    }
+
+    #[test]
+    fn clear_keeps_clock() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(7), ());
+        q.pop();
+        q.schedule_at(SimTime(9), ());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime(7));
+    }
+}

@@ -1,0 +1,192 @@
+//! Regenerate the ablation studies (A1–A10; DESIGN.md §4).
+//!
+//! ```text
+//! cargo run --release -p prop-experiments --bin ablation \
+//!     [overhead|churn|combine|selfish|selection|warmup|waxman|custody|threshold|ltmcap|zipf|floodcost] [--quick] [--seed N]
+//! ```
+
+use prop_experiments::ablation;
+use prop_experiments::report::{print_series_table, write_json, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let run_all = cli.panel.is_none();
+    let want = |p: &str| run_all || cli.panel.as_deref() == Some(p);
+
+    if want("overhead") {
+        let r = ablation::overhead(cli.scale, cli.seed);
+        println!("\n=== A1 — per-adjustment overhead (§4.3: nhop+2c vs nhop+2m) ===");
+        println!(
+            "{:<20} {:>8} {:>10} {:>12} {:>12} {:>12}",
+            "scheme", "trials", "exchanges", "msgs", "msgs/trial", "predicted"
+        );
+        for row in &r.rows {
+            println!(
+                "{:<20} {:>8} {:>10} {:>12} {:>12.2} {:>12.2}",
+                row.label,
+                row.trials,
+                row.exchanges,
+                row.total_msgs,
+                row.msgs_per_trial,
+                row.predicted_msgs_per_trial
+            );
+        }
+        print_series_table("A1 — probe-rate decay (PROP-G)", &[&r.probe_rate]);
+        write_json("ablation_overhead", &r);
+    }
+
+    if want("churn") {
+        let r = ablation::churn(cli.scale, cli.seed);
+        println!(
+            "\n=== A2 — churn episode from {:.0} to {:.0} min ({} leaves, {} joins) ===",
+            r.churn_window.0, r.churn_window.1, r.leaves, r.joins
+        );
+        println!("always connected: {}", r.always_connected);
+        print_series_table("A2 — link stretch under churn", &[&r.stretch]);
+        print_series_table("A2 — probe rate (trials/min)", &[&r.probe_rate]);
+        write_json("ablation_churn", &r);
+    }
+
+    if want("combine") {
+        let rows = ablation::combine(cli.scale, cli.seed);
+        println!("\n=== A3 — PROP-G combined with PNS / PRS / PIS (path stretch) ===");
+        println!("{:<24} {:>10} {:>10}", "configuration", "initial", "final");
+        for row in &rows {
+            println!(
+                "{:<24} {:>10.3} {:>10.3}",
+                row.label, row.stretch_initial, row.stretch_final
+            );
+        }
+        write_json("ablation_combine", &rows);
+    }
+
+    if want("selection") {
+        let rows = ablation::selection_strategy(cli.scale, cli.seed);
+        println!("\n=== A5 — PROP-O neighbor selection: greedy vs random ===");
+        println!("{:<28} {:>16} {:>10} {:>10}", "strategy", "total link lat", "exchanges", "trials");
+        for row in &rows {
+            println!(
+                "{:<28} {:>16} {:>10} {:>10}",
+                row.label, row.total_link_latency_final, row.exchanges, row.trials
+            );
+        }
+        write_json("ablation_selection", &rows);
+    }
+
+    if want("warmup") {
+        let rows = ablation::warmup_sweep(cli.scale, cli.seed);
+        println!("\n=== A6 — warm-up length (MAX_INIT_TRIAL) sweep ===");
+        println!("{:<16} {:>12} {:>12}", "MAX_INIT_TRIAL", "stretch", "trials");
+        for row in &rows {
+            println!("{:<16} {:>12.3} {:>12}", row.max_init_trial, row.stretch_final, row.trials);
+        }
+        write_json("ablation_warmup", &rows);
+    }
+
+    if want("waxman") {
+        let rows = ablation::physical_model(cli.scale, cli.seed);
+        println!("\n=== A7 — physical-model robustness: transit–stub vs flat Waxman ===");
+        println!("{:<12} {:>10} {:>10} {:>12}", "topology", "initial", "final", "improvement");
+        for row in &rows {
+            println!(
+                "{:<12} {:>10.2} {:>10.2} {:>11.1}%",
+                row.label,
+                row.stretch_initial,
+                row.stretch_final,
+                row.improvement * 100.0
+            );
+        }
+        write_json("ablation_waxman", &rows);
+    }
+
+    if want("threshold") {
+        let rows = ablation::threshold_sweep(cli.scale, cli.seed);
+        println!("\n=== A9 — MIN_VAR sensitivity ===");
+        println!("{:<10} {:>12} {:>12} {:>14}", "MIN_VAR", "stretch", "exchanges", "notify msgs");
+        for row in &rows {
+            println!(
+                "{:<10} {:>12.3} {:>12} {:>14}",
+                row.min_var, row.stretch_final, row.exchanges, row.notify_msgs
+            );
+        }
+        write_json("ablation_threshold", &rows);
+    }
+
+    if want("ltmcap") {
+        let rows = ablation::ltm_cap_sweep(cli.scale, cli.seed);
+        println!("\n=== A10 — LTM connection-cap sensitivity (Fig. 7 endpoints) ===");
+        println!(
+            "{:<12} {:>10} {:>14} {:>12} {:>12}",
+            "max_degree", "mean deg", "mean link lat", "ratio@f=0", "ratio@f=1"
+        );
+        for row in &rows {
+            let cap = if row.max_degree == usize::MAX {
+                "unbounded".to_string()
+            } else {
+                row.max_degree.to_string()
+            };
+            println!(
+                "{:<12} {:>10.1} {:>14.1} {:>12.3} {:>12.3}",
+                cap,
+                row.mean_degree_final,
+                row.mean_link_latency_final,
+                row.ratio_frac0,
+                row.ratio_frac1
+            );
+        }
+        write_json("ablation_ltmcap", &rows);
+    }
+
+    if want("zipf") {
+        let rows = ablation::zipf_workload(cli.scale, cli.seed);
+        println!("\n=== A11 — Zipf(0.9) popularity workload, hot objects on hubs ===");
+        println!("{:<10} {:>16}", "scheme", "delay ratio");
+        for row in &rows {
+            println!("{:<10} {:>16.3}", row.label, row.ratio);
+        }
+        write_json("ablation_zipf", &rows);
+    }
+
+    if want("floodcost") {
+        let rows = ablation::flood_cost(cli.scale, cli.seed);
+        println!("\n=== A12 — flooding message cost per query (TTL 7) ===");
+        println!(
+            "{:<10} {:>14} {:>14} {:>12}",
+            "scheme", "msgs initial", "msgs final", "mean degree"
+        );
+        for row in &rows {
+            println!(
+                "{:<10} {:>14.0} {:>14.0} {:>12.1}",
+                row.label,
+                row.msgs_per_query_initial,
+                row.msgs_per_query_final,
+                row.mean_degree_final
+            );
+        }
+        write_json("ablation_floodcost", &rows);
+    }
+
+    if want("custody") {
+        let r = ablation::custody(cli.scale, cli.seed);
+        println!("\n=== A8 — object custody under identifier swaps (Chord) ===");
+        println!("baseline mean object lookup:        {:>10.1} ms", r.baseline_ms);
+        println!("after PROP-G, permanent pointers:   {:>10.1} ms", r.pointers_ms);
+        println!("after PROP-G, custody migrated:     {:>10.1} ms", r.migrated_ms);
+        println!("keys displaced by the run:          {:>10.1}%", r.displacement * 100.0);
+        println!("one-time migration cost (ms-equiv): {:>10}", r.migration_cost);
+        write_json("ablation_custody", &r);
+    }
+
+    if want("selfish") {
+        let rows = ablation::selfish_vs_prop(cli.scale, cli.seed);
+        println!("\n=== A4 — cooperative exchange vs selfish rewiring ===");
+        println!("{:<24} {:>18} {:>16}", "scheme", "mean link lat (ms)", "degree-CV drift");
+        for row in &rows {
+            println!(
+                "{:<24} {:>18.2} {:>16.4}",
+                row.label, row.mean_link_latency_final, row.degree_cv_drift
+            );
+        }
+        write_json("ablation_selfish", &rows);
+    }
+}

@@ -1,0 +1,61 @@
+//! Regenerate **Figure 5** — PROP-G in a Gnutella-like environment.
+//!
+//! ```text
+//! cargo run --release -p prop-experiments --bin fig5 [a|b|c] [--quick] [--seed N]
+//! ```
+//!
+//! With no panel argument, runs all three. Prints each panel's average
+//! lookup latency series (ms vs simulated minutes) and writes
+//! `results/fig5<panel>.json`.
+
+use prop_experiments::fig5::{panel_a, panel_b, panel_c, Curve};
+use prop_experiments::report::{print_series_table, write_json, Cli};
+
+fn show(panel: &str, title: &str, curves: &[Curve]) {
+    let series: Vec<_> = curves.iter().map(|c| &c.series).collect();
+    print_series_table(title, &series);
+    println!("\n{}", prop_experiments::plot::ascii_chart(&series, 72, 14));
+    println!("\nconvergence (start → end, t90 = minutes to 90% of the gain):");
+    for c in curves {
+        if let Some(conv) = prop_experiments::convergence_of(&c.series) {
+            println!(
+                "  {:<28} {:>10.2} → {:>10.2}  ({:+.1}%)  t90 {}  max regression {:.1}%",
+                c.series.label,
+                conv.initial,
+                conv.final_,
+                conv.improvement * 100.0,
+                conv.t90_minutes.map_or("n/a".into(), |t| format!("{t:.0} min")),
+                conv.max_regression * 100.0
+            );
+        }
+    }
+    write_json(&format!("fig5{panel}"), &curves.to_vec());
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let run_all = cli.panel.is_none();
+    let want = |p: &str| run_all || cli.panel.as_deref() == Some(p);
+
+    if want("a") {
+        show(
+            "a",
+            "Fig 5(a) — avg lookup latency (ms), varying the TTL scale",
+            &panel_a(cli.scale, cli.seed),
+        );
+    }
+    if want("b") {
+        show(
+            "b",
+            "Fig 5(b) — avg lookup latency (ms), varying the system size",
+            &panel_b(cli.scale, cli.seed),
+        );
+    }
+    if want("c") {
+        show(
+            "c",
+            "Fig 5(c) — avg lookup latency (ms), varying the physical topology",
+            &panel_c(cli.scale, cli.seed),
+        );
+    }
+}

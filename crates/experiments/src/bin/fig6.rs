@@ -1,0 +1,53 @@
+//! Regenerate **Figure 6** — PROP-G in a Chord environment.
+//!
+//! ```text
+//! cargo run --release -p prop-experiments --bin fig6 [a|b|c] [--quick] [--seed N]
+//! ```
+//!
+//! Prints each panel's stretch series (vs simulated minutes) and writes
+//! `results/fig6<panel>.json`.
+
+use prop_experiments::fig5::Curve;
+use prop_experiments::fig6::{panel_a, panel_b, panel_c};
+use prop_experiments::report::{print_series_table, write_json, Cli};
+
+fn show(panel: &str, title: &str, curves: &[Curve]) {
+    let series: Vec<_> = curves.iter().map(|c| &c.series).collect();
+    print_series_table(title, &series);
+    println!("\n{}", prop_experiments::plot::ascii_chart(&series, 72, 14));
+    println!("\nconvergence (start → end, t90 = minutes to 90% of the gain):");
+    for c in curves {
+        if let Some(conv) = prop_experiments::convergence_of(&c.series) {
+            println!(
+                "  {:<28} {:>10.2} → {:>10.2}  ({:+.1}%)  t90 {}  max regression {:.1}%",
+                c.series.label,
+                conv.initial,
+                conv.final_,
+                conv.improvement * 100.0,
+                conv.t90_minutes.map_or("n/a".into(), |t| format!("{t:.0} min")),
+                conv.max_regression * 100.0
+            );
+        }
+    }
+    write_json(&format!("fig6{panel}"), &curves.to_vec());
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let run_all = cli.panel.is_none();
+    let want = |p: &str| run_all || cli.panel.as_deref() == Some(p);
+
+    if want("a") {
+        show("a", "Fig 6(a) — stretch, varying the TTL scale", &panel_a(cli.scale, cli.seed));
+    }
+    if want("b") {
+        show("b", "Fig 6(b) — stretch, varying the system size", &panel_b(cli.scale, cli.seed));
+    }
+    if want("c") {
+        show(
+            "c",
+            "Fig 6(c) — stretch, varying the physical topology",
+            &panel_c(cli.scale, cli.seed),
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Regenerate **Figure 7** — PROP-O vs PROP-G vs LTM under bimodal node
+//! heterogeneity.
+//!
+//! ```text
+//! cargo run --release -p prop-experiments --bin fig7 [--quick] [--seed N]
+//! ```
+//!
+//! Prints the normalized average lookup delay of each scheme as the
+//! fraction of fast-destination lookups sweeps 0 → 1, and writes
+//! `results/fig7.json`.
+
+use prop_experiments::fig7::run;
+use prop_experiments::report::{write_json, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let curves = run(cli.scale, cli.seed);
+
+    println!("\n=== Fig 7 — normalized avg lookup delay vs fraction of fast-node lookups ===");
+    print!("{:>10}", "frac_fast");
+    for c in &curves {
+        print!("  {:>14}", c.label);
+    }
+    println!();
+    let rows = curves[0].points.len();
+    for r in 0..rows {
+        print!("{:>10.3}", curves[0].points[r].0);
+        for c in &curves {
+            print!("  {:>14.3}", c.points[r].1);
+        }
+        println!();
+    }
+
+    // The paper's headline observation, as a one-line verdict.
+    let at = |label: &str, f: f64| {
+        curves
+            .iter()
+            .find(|c| c.label == label)
+            .and_then(|c| {
+                c.points
+                    .iter()
+                    .find(|&&(x, _)| (x - f).abs() < 1e-9)
+                    .map(|&(_, y)| y)
+            })
+            .unwrap_or(f64::NAN)
+    };
+    println!(
+        "\nat frac=0.0:  LTM {:.3} vs PROP-O(m=4) {:.3}  (paper: LTM best when all lookups hit slow nodes)",
+        at("LTM", 0.0),
+        at("PROP-O (m=4)", 0.0)
+    );
+    println!(
+        "at frac=1.0:  LTM {:.3} vs PROP-O(m=4) {:.3}  (paper: PROP-O wins when lookups concentrate on fast nodes)",
+        at("LTM", 1.0),
+        at("PROP-O (m=4)", 1.0)
+    );
+
+    write_json("fig7", &curves);
+}

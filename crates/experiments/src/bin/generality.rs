@@ -1,0 +1,32 @@
+//! G1 — PROP-G's generality table: the same protocol, unchanged, over
+//! Gnutella (flat and two-tier), Chord, Pastry, Kademlia, and CAN.
+//!
+//! ```text
+//! cargo run --release -p prop-experiments --bin generality [--quick] [--seed N]
+//! ```
+
+use prop_experiments::generality::run;
+use prop_experiments::report::{write_json, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let rows = run(cli.scale, cli.seed);
+
+    println!("\n=== G1 — one protocol, six overlays (PROP-G, identical settings) ===");
+    println!(
+        "{:<10} {:<26} {:>10} {:>10} {:>12} {:>10}",
+        "overlay", "metric", "initial", "final", "improvement", "structure"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:<26} {:>10.2} {:>10.2} {:>11.1}% {:>10}",
+            r.overlay,
+            r.metric,
+            r.initial,
+            r.final_,
+            r.improvement * 100.0,
+            if r.structure_preserved { "preserved" } else { "BROKEN" }
+        );
+    }
+    write_json("generality", &rows);
+}

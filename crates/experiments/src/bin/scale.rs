@@ -1,0 +1,78 @@
+//! S1 — simulator scalability: wall-clock and memory-ish cost of the full
+//! pipeline (topology → APSP oracle → overlay → 2 h of PROP-G → one
+//! measurement) as the overlay grows.
+//!
+//! ```text
+//! cargo run --release -p prop-experiments --bin scale [--quick] [--seed N]
+//! ```
+//!
+//! Useful for sizing reproduction runs; not a paper figure. Wall-clock
+//! numbers are machine-dependent by nature.
+
+use prop_core::{PropConfig, ProtocolSim};
+use prop_experiments::report::Cli;
+use prop_experiments::setup::Scale;
+use prop_metrics::avg_lookup_latency;
+use prop_netsim::{generate_waxman, LatencyOracle, WaxmanParams};
+use prop_overlay::gnutella::{Gnutella, GnutellaParams};
+use prop_workloads::LookupGen;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let cli = Cli::parse();
+    let sizes: Vec<usize> = match cli.scale {
+        Scale::Paper => vec![500, 1000, 2000, 4000],
+        Scale::Quick => vec![200, 400],
+    };
+
+    println!(
+        "{:>7} {:>12} {:>12} {:>12} {:>12} {:>14}",
+        "peers", "topo (ms)", "APSP (ms)", "sim 2h (ms)", "measure (ms)", "matrix (MiB)"
+    );
+    for n in sizes {
+        // A flat Waxman sized 2× the membership keeps host selection
+        // meaningful at every n.
+        let params = WaxmanParams {
+            nodes: n * 2,
+            alpha: (30.0 / n as f64).min(0.5),
+            beta: 0.18,
+            max_latency_ms: 120,
+        };
+        let mut rng = prop_engine::SimRng::seed_from(cli.seed);
+
+        let t0 = Instant::now();
+        let phys = generate_waxman(&params, &mut rng);
+        let t_topo = t0.elapsed();
+
+        let t0 = Instant::now();
+        let oracle = Arc::new(LatencyOracle::select_and_build(&phys, n, &mut rng));
+        let t_apsp = t0.elapsed();
+
+        let (gn, net) = Gnutella::build(GnutellaParams::default(), oracle, &mut rng);
+
+        let t0 = Instant::now();
+        let mut sim = ProtocolSim::new(net, PropConfig::prop_g(), &mut rng);
+        sim.run_for(prop_engine::Duration::from_minutes(120));
+        let t_sim = t0.elapsed();
+
+        let t0 = Instant::now();
+        let live: Vec<prop_overlay::Slot> = sim.net().graph().live_slots().collect();
+        let pairs = LookupGen::new(&rng).uniform_pairs(&live, 2000);
+        let summary = avg_lookup_latency(sim.net(), &gn, &pairs);
+        let t_measure = t0.elapsed();
+
+        let matrix_mib = (n * n * 4) as f64 / (1024.0 * 1024.0);
+        println!(
+            "{:>7} {:>12.0} {:>12.0} {:>12.0} {:>12.0} {:>14.1}   (mean lookup {:.0} ms, {} exchanges)",
+            n,
+            t_topo.as_secs_f64() * 1e3,
+            t_apsp.as_secs_f64() * 1e3,
+            t_sim.as_secs_f64() * 1e3,
+            t_measure.as_secs_f64() * 1e3,
+            matrix_mib,
+            summary.mean_ms,
+            sim.overhead().exchanges
+        );
+    }
+}

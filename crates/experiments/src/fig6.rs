@@ -1,0 +1,131 @@
+//! Figure 6 — *Effectiveness of PROP-G in a Chord environment.*
+//!
+//! Metric: **stretch** — per-lookup route latency over direct physical
+//! latency, averaged over a sampled key workload (DHT routes are
+//! well-defined, so stretch is measurable directly, unlike flooding).
+//! Same three panels as Fig. 5: (a) TTL scale, (b) system size,
+//! (c) physical topology. PROP-G's exchanges here are *identifier swaps* —
+//! the ring, fingers, and every DHT guarantee are untouched.
+
+use crate::fig5::Curve;
+use crate::setup::{Scale, Scenario, Topology};
+use prop_core::{ProbeMode, PropConfig, ProtocolSim};
+use prop_metrics::{path_stretch, TimeSeries};
+use prop_workloads::LookupGen;
+use rayon::prelude::*;
+
+/// Run PROP-G on this scenario's Chord overlay and sample path stretch.
+pub fn run_curve(scenario: &Scenario, cfg: PropConfig, scale: Scale, label: String) -> Curve {
+    let (chord, net) = scenario.chord();
+    let mut sim_rng = scenario.rng(&format!("fig6-sim-{label}"));
+    let mut sim = ProtocolSim::new(net, cfg, &mut sim_rng);
+    let live = scenario.all_slots();
+    let pairs = LookupGen::new(&scenario.rng("fig6-lookups"))
+        .uniform_pairs(&live, scale.lookups_per_sample());
+
+    let mut series = TimeSeries::new(label);
+    let step = scale.sample_every();
+    let horizon = scale.horizon();
+    let mut elapsed = prop_engine::Duration::ZERO;
+    series.push(sim.now(), path_stretch(sim.net(), &chord, &pairs));
+    while elapsed < horizon {
+        sim.run_for(step);
+        elapsed = elapsed + step;
+        series.push(sim.now(), path_stretch(sim.net(), &chord, &pairs));
+    }
+    let improvement = series.improvement().unwrap_or(0.0);
+    Curve { series, improvement }
+}
+
+/// Panel (a): vary the probe TTL at fixed n.
+pub fn panel_a(scale: Scale, seed: u64) -> Vec<Curve> {
+    let n = scale.default_n();
+    let topo = default_topology(scale);
+    let scenario = Scenario::build(topo, n, seed);
+    let variants: Vec<(String, ProbeMode)> = vec![
+        (format!("n={n}, nhops=1"), ProbeMode::Walk { nhops: 1 }),
+        (format!("n={n}, nhops=2"), ProbeMode::Walk { nhops: 2 }),
+        (format!("n={n}, nhops=4"), ProbeMode::Walk { nhops: 4 }),
+        (format!("n={n}, random"), ProbeMode::Random),
+    ];
+    variants
+        .into_par_iter()
+        .map(|(label, probe)| {
+            run_curve(&scenario, PropConfig::prop_g().with_probe(probe), scale, label)
+        })
+        .collect()
+}
+
+/// Panel (b): vary the overlay size at `nhops = 2`.
+pub fn panel_b(scale: Scale, seed: u64) -> Vec<Curve> {
+    let sizes: Vec<usize> = match scale {
+        Scale::Paper => vec![300, 500, 1000, 3000],
+        Scale::Quick => vec![60, 120, 240],
+    };
+    let topo = default_topology(scale);
+    sizes
+        .into_par_iter()
+        .map(|n| {
+            let scenario = Scenario::build(topo, n, seed);
+            run_curve(&scenario, PropConfig::prop_g(), scale, format!("n={n}, nhops=2"))
+        })
+        .collect()
+}
+
+/// Panel (c): `ts-large` vs `ts-small` at the default n.
+pub fn panel_c(scale: Scale, seed: u64) -> Vec<Curve> {
+    let n = scale.default_n();
+    [Topology::TsLarge, Topology::TsSmall]
+        .into_par_iter()
+        .map(|topo| {
+            let scenario = Scenario::build(topo, n, seed);
+            run_curve(&scenario, PropConfig::prop_g(), scale, topo.label().to_string())
+        })
+        .collect()
+}
+
+fn default_topology(scale: Scale) -> Topology {
+    match scale {
+        Scale::Paper => Topology::TsLarge,
+        Scale::Quick => Topology::TsSmall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_panel_a_reduces_stretch() {
+        let curves = panel_a(Scale::Quick, 45);
+        assert_eq!(curves.len(), 4);
+        for c in &curves {
+            // Stretch stays ≥ 1 (routes can't beat the direct path).
+            assert!(c.series.min_value().unwrap() >= 1.0);
+        }
+        for c in &curves[1..] {
+            assert!(c.improvement > 0.02, "{}: {:.3}", c.series.label, c.improvement);
+        }
+    }
+
+    #[test]
+    fn quick_panel_b_improves_at_every_size() {
+        for c in panel_b(Scale::Quick, 46) {
+            assert!(c.improvement > 0.0, "{}: {:.3}", c.series.label, c.improvement);
+        }
+    }
+
+    #[test]
+    fn quick_panel_c_ts_large_wins() {
+        let curves = panel_c(Scale::Quick, 47);
+        let large = &curves[0];
+        let small = &curves[1];
+        // The paper's claim: the large-backbone topology benefits more.
+        assert!(
+            large.improvement > small.improvement * 0.8,
+            "ts-large {:.3} vs ts-small {:.3}",
+            large.improvement,
+            small.improvement
+        );
+    }
+}

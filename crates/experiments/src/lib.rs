@@ -1,0 +1,33 @@
+//! # prop-experiments — regenerating the paper's evaluation
+//!
+//! One module per figure, with every panel an explicit function returning
+//! the plotted series:
+//!
+//! | module | paper figure | panels |
+//! |---|---|---|
+//! | [`fig5`] | Fig. 5 — PROP-G in a Gnutella-like environment (avg lookup latency vs time) | (a) TTL scale, (b) system size, (c) physical topology |
+//! | [`fig6`] | Fig. 6 — PROP-G in a Chord environment (stretch vs time) | (a) TTL scale, (b) system size, (c) physical topology |
+//! | [`fig7`] | Fig. 7 — PROP-O vs PROP-G vs LTM under bimodal heterogeneity (normalized delay vs fraction of fast-node lookups) | single panel |
+//! | [`ablation`] | §4.3 / §5 text claims | A1 overhead, A2 churn, A3 combining with PNS/PIS, A4 selfish rewiring |
+//!
+//! Each experiment takes a [`Scale`]: `Paper` reproduces the published
+//! parameterization (n = 1000 over the ≈3,000-host `ts-large` topology,
+//! two simulated hours), `Quick` shrinks everything for smoke tests and
+//! Criterion benches.
+
+pub mod ablation;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod generality;
+pub mod plot;
+pub mod report;
+pub mod setup;
+
+pub use setup::{Scale, Scenario, Topology};
+
+/// Convenience re-export used by the figure binaries: convergence summary
+/// of a sampled series (see [`prop_metrics::convergence`]).
+pub fn convergence_of(ts: &prop_metrics::TimeSeries) -> Option<prop_metrics::Convergence> {
+    prop_metrics::convergence(ts)
+}

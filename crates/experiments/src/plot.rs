@@ -1,0 +1,155 @@
+//! Terminal plots for experiment output.
+//!
+//! Every figure binary prints its series as an ASCII chart next to the raw
+//! rows, so a reader can see the paper's curve shapes (convergence,
+//! crossover, decay) straight from the terminal without exporting the JSON.
+
+use prop_metrics::TimeSeries;
+
+const GLYPHS: &[char] = &['o', '+', 'x', '*', '#', '@', '%', '&'];
+
+/// Render multiple series into one fixed-size ASCII chart. Each series gets
+/// a glyph; a legend line maps glyphs to labels. Returns the full text.
+pub fn ascii_chart(series: &[&TimeSeries], width: usize, height: usize) -> String {
+    let width = width.max(16);
+    let height = height.max(6);
+    let points: Vec<(f64, f64)> =
+        series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if points.is_empty() {
+        return "(no data)\n".to_string();
+    }
+    let (mut x_min, mut x_max) = (f64::MAX, f64::MIN);
+    let (mut y_min, mut y_max) = (f64::MAX, f64::MIN);
+    for &(x, y) in &points {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if (x_max - x_min).abs() < f64::EPSILON {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < f64::EPSILON {
+        y_max = y_min + 1.0;
+    }
+    // A little headroom so curves don't sit on the frame.
+    let pad = (y_max - y_min) * 0.05;
+    let (y_lo, y_hi) = (y_min - pad, y_max + pad);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in &s.points {
+            let cx = ((x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
+            let cy = ((y - y_lo) / (y_hi - y_lo) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            let col = cx.min(width - 1);
+            // Later series overwrite: collisions show the last glyph, which
+            // is fine for eyeballing.
+            grid[row][col] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    let y_label_width = 10;
+    for (r, row) in grid.iter().enumerate() {
+        let y_val = y_hi - (y_hi - y_lo) * r as f64 / (height - 1) as f64;
+        let label = if r == 0 || r == height - 1 || r == height / 2 {
+            format!("{y_val:>9.2} ")
+        } else {
+            " ".repeat(y_label_width)
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(y_label_width));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "{:y$}{:<w$.1}{:>r$.1}\n",
+        "",
+        x_min,
+        x_max,
+        y = y_label_width + 1,
+        w = width / 2,
+        r = width - width / 2
+    ));
+    // Legend.
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!(
+            "{:y$}{} = {}\n",
+            "",
+            GLYPHS[si % GLYPHS.len()],
+            s.label,
+            y = y_label_width + 1
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prop_engine::{Duration, SimTime};
+
+    fn mk(label: &str, vals: &[f64]) -> TimeSeries {
+        let mut ts = TimeSeries::new(label);
+        let mut t = SimTime::ZERO;
+        for &v in vals {
+            ts.push(t, v);
+            t += Duration::from_minutes(10);
+        }
+        ts
+    }
+
+    #[test]
+    fn chart_has_expected_dimensions() {
+        let a = mk("falling", &[10.0, 8.0, 6.0, 5.0, 4.5]);
+        let chart = ascii_chart(&[&a], 40, 10);
+        let lines: Vec<&str> = chart.lines().collect();
+        // height rows + frame + x labels + 1 legend line
+        assert_eq!(lines.len(), 10 + 2 + 1);
+        assert!(chart.contains("o = falling"));
+    }
+
+    #[test]
+    fn both_series_appear() {
+        let a = mk("a", &[1.0, 2.0, 3.0]);
+        let b = mk("b", &[3.0, 2.0, 1.0]);
+        let chart = ascii_chart(&[&a, &b], 30, 8);
+        assert!(chart.contains('o'));
+        assert!(chart.contains('+'));
+        assert!(chart.contains("o = a"));
+        assert!(chart.contains("+ = b"));
+    }
+
+    #[test]
+    fn empty_input_is_graceful() {
+        assert_eq!(ascii_chart(&[], 30, 8), "(no data)\n");
+        let empty = TimeSeries::new("e");
+        assert_eq!(ascii_chart(&[&empty], 30, 8), "(no data)\n");
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let c = mk("const", &[5.0, 5.0, 5.0]);
+        let chart = ascii_chart(&[&c], 30, 8);
+        assert!(chart.contains('o'));
+    }
+
+    #[test]
+    fn extremes_land_on_frame_rows() {
+        let a = mk("line", &[0.0, 10.0]);
+        let chart = ascii_chart(&[&a], 20, 8);
+        let lines: Vec<&str> = chart.lines().collect();
+        // Max value near the top row, min near the bottom row (with 5%
+        // padding they sit one row in at most).
+        let top_two = format!("{}{}", lines[0], lines[1]);
+        let bottom_two = format!("{}{}", lines[6], lines[7]);
+        assert!(top_two.contains('o'));
+        assert!(bottom_two.contains('o'));
+    }
+}

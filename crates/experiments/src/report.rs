@@ -1,0 +1,128 @@
+//! Plain-text and JSON reporting for the experiment binaries.
+//!
+//! Every `fig*`/`ablation` binary prints the series it produced (the same
+//! rows the paper plots) and drops a JSON copy under `results/` so
+//! EXPERIMENTS.md numbers can be traced to a file.
+
+use prop_metrics::TimeSeries;
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// Print a titled block of labelled time series as aligned columns:
+/// one row per sample time, one column per series.
+pub fn print_series_table(title: &str, curves: &[&TimeSeries]) {
+    println!("\n=== {title} ===");
+    if curves.is_empty() || curves[0].is_empty() {
+        println!("(no data)");
+        return;
+    }
+    print!("{:>8}", "min");
+    for c in curves {
+        print!("  {:>22}", truncate(&c.label, 22));
+    }
+    println!();
+    let rows = curves.iter().map(|c| c.len()).max().unwrap_or(0);
+    for r in 0..rows {
+        let t = curves
+            .iter()
+            .find_map(|c| c.points.get(r).map(|&(t, _)| t))
+            .unwrap_or(f64::NAN);
+        print!("{t:>8.1}");
+        for c in curves {
+            match c.points.get(r) {
+                Some(&(_, v)) => print!("  {v:>22.3}"),
+                None => print!("  {:>22}", "-"),
+            }
+        }
+        println!();
+    }
+}
+
+/// Print per-curve start/end/improvement summary lines.
+pub fn print_improvements(curves: &[(&str, f64, f64)]) {
+    for (label, first, last) in curves {
+        let imp = if *first != 0.0 { (first - last) / first * 100.0 } else { 0.0 };
+        println!("  {label:<28} {first:>10.2} → {last:>10.2}   ({imp:+.1}%)");
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..n - 1])
+    }
+}
+
+/// Serialize `value` to `results/<name>.json` (best effort: failures are
+/// reported but never abort the run).
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = PathBuf::from("results");
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = fs::write(&path, json) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                println!("(wrote {})", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+    }
+}
+
+/// Shared CLI convention for the experiment binaries:
+/// `<bin> [panel] [--quick] [--seed N]`.
+pub struct Cli {
+    pub panel: Option<String>,
+    pub scale: crate::Scale,
+    pub seed: u64,
+}
+
+impl Cli {
+    pub fn parse() -> Cli {
+        let mut panel = None;
+        let mut scale = crate::Scale::Paper;
+        let mut seed = 1u64;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => scale = crate::Scale::Quick,
+                "--seed" => {
+                    seed = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--seed needs an integer");
+                }
+                other if !other.starts_with('-') => panel = Some(other.to_string()),
+                other => panic!("unknown flag {other}"),
+            }
+        }
+        Cli { panel, scale, seed }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncate_behaviour() {
+        assert_eq!(truncate("short", 22), "short");
+        assert_eq!(truncate("abcdefghij", 5), "abcd…");
+    }
+
+    #[test]
+    fn print_handles_empty() {
+        // Just exercise the no-data paths for panics.
+        print_series_table("empty", &[]);
+        let ts = TimeSeries::new("x");
+        print_series_table("empty2", &[&ts]);
+        print_improvements(&[]);
+    }
+}

@@ -1,0 +1,91 @@
+//! Average lookup latency.
+
+use prop_engine::stats::Accumulator;
+use prop_overlay::{Lookup, OverlayNet, Slot};
+use serde::{Deserialize, Serialize};
+
+/// Result of measuring a lookup workload.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Mean latency over delivered lookups, ms.
+    pub mean_ms: f64,
+    /// Mean overlay hops over delivered lookups.
+    pub mean_hops: f64,
+    pub delivered: u64,
+    /// Lookups the overlay failed to deliver (e.g. flood TTL expired).
+    pub failed: u64,
+}
+
+/// Run every pair through the overlay's lookup discipline and summarize.
+pub fn avg_lookup_latency(
+    net: &OverlayNet,
+    overlay: &impl Lookup,
+    pairs: &[(Slot, Slot)],
+) -> LatencySummary {
+    let mut lat = Accumulator::new();
+    let mut hops = Accumulator::new();
+    let mut failed = 0u64;
+    for &(src, dst) in pairs {
+        match overlay.lookup(net, src, dst) {
+            Some(out) => {
+                lat.add(out.latency_ms as f64);
+                hops.add(out.hops as f64);
+            }
+            None => failed += 1,
+        }
+    }
+    LatencySummary {
+        mean_ms: lat.mean(),
+        mean_hops: hops.mean(),
+        delivered: lat.count(),
+        failed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prop_engine::SimRng;
+    use prop_netsim::{generate, LatencyOracle, TransitStubParams};
+    use prop_overlay::gnutella::{Gnutella, GnutellaParams};
+    use prop_workloads::LookupGen;
+    use std::sync::Arc;
+
+    fn setup(n: usize, seed: u64) -> (Gnutella, prop_overlay::OverlayNet, SimRng) {
+        let mut rng = SimRng::seed_from(seed);
+        let phys = generate(&TransitStubParams::tiny(), &mut rng);
+        let oracle = Arc::new(LatencyOracle::select_and_build(&phys, n, &mut rng));
+        let (gn, net) = Gnutella::build(GnutellaParams::default(), oracle, &mut rng);
+        (gn, net, rng)
+    }
+
+    #[test]
+    fn summary_counts_add_up() {
+        let (gn, net, rng) = setup(25, 1);
+        let live: Vec<Slot> = net.graph().live_slots().collect();
+        let pairs = LookupGen::new(&rng).uniform_pairs(&live, 300);
+        let s = avg_lookup_latency(&net, &gn, &pairs);
+        assert_eq!(s.delivered + s.failed, 300);
+        assert!(s.mean_ms > 0.0);
+        assert!(s.mean_hops >= 1.0);
+    }
+
+    #[test]
+    fn ttl_one_fails_on_non_neighbors() {
+        let (mut gn, net, rng) = setup(25, 2);
+        gn.params.flood_ttl = 1;
+        let live: Vec<Slot> = net.graph().live_slots().collect();
+        let pairs = LookupGen::new(&rng).uniform_pairs(&live, 300);
+        let s = avg_lookup_latency(&net, &gn, &pairs);
+        assert!(s.failed > 0, "TTL=1 should fail on most non-adjacent pairs");
+        assert!(s.mean_hops <= 1.0 || s.delivered == 0);
+    }
+
+    #[test]
+    fn empty_workload_is_nan_mean() {
+        let (gn, net, _) = setup(10, 3);
+        let s = avg_lookup_latency(&net, &gn, &[]);
+        assert_eq!(s.delivered, 0);
+        assert!(s.mean_ms.is_nan());
+    }
+}

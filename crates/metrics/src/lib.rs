@@ -1,0 +1,27 @@
+//! # prop-metrics — the paper's evaluation metrics
+//!
+//! * [`latency`] — average lookup latency over a pair workload (the
+//!   Gnutella metric of Fig. 5 and the normalized delay of Fig. 7).
+//! * [`stretch`] — the §4.2 stretch definitions: *link stretch* (mean
+//!   logical link latency over mean physical link latency — the quantity
+//!   PROP provably reduces) and *path stretch* (per-lookup route latency
+//!   over direct physical latency — the Chord metric of Fig. 6).
+//! * [`timeseries`] — labelled (minutes, value) series; what every figure
+//!   plots.
+//! * [`degree`] — degree-distribution summaries for the PROP-O
+//!   power-law-preservation argument.
+
+pub mod convergence;
+pub mod degree;
+pub mod floodcost;
+pub mod histogram;
+pub mod latency;
+pub mod stretch;
+pub mod timeseries;
+
+pub use convergence::{convergence, Convergence};
+pub use floodcost::{flood_messages, mean_flood_messages};
+pub use histogram::{class_breakdown, ClassBreakdown, LatencyCdf};
+pub use latency::{avg_lookup_latency, LatencySummary};
+pub use stretch::{link_stretch, path_stretch};
+pub use timeseries::TimeSeries;

@@ -1,0 +1,89 @@
+//! Stretch (§4.2): how well the logical topology matches the physical one.
+
+use prop_engine::stats::Accumulator;
+use prop_overlay::{Lookup, OverlayNet, Slot};
+
+/// *Link stretch*: mean logical link latency / mean physical link latency.
+/// This is the paper's headline definition — the numerator is exactly the
+/// quantity every accepted peer-exchange reduces (by `Var`).
+pub fn link_stretch(net: &OverlayNet) -> f64 {
+    net.stretch()
+}
+
+/// *Path stretch*: mean over lookups of (overlay route latency) /
+/// (direct physical latency). The natural reading for DHTs, where a lookup
+/// has a well-defined route; used for the Chord experiments (Fig. 6).
+/// Pairs with zero physical distance (co-located hosts) are skipped.
+pub fn path_stretch(net: &OverlayNet, overlay: &impl Lookup, pairs: &[(Slot, Slot)]) -> f64 {
+    let mut acc = Accumulator::new();
+    for &(src, dst) in pairs {
+        let direct = net.d(src, dst);
+        if direct == 0 {
+            continue;
+        }
+        if let Some(out) = overlay.lookup(net, src, dst) {
+            acc.add(out.latency_ms as f64 / direct as f64);
+        }
+    }
+    acc.mean()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prop_engine::SimRng;
+    use prop_netsim::{generate, LatencyOracle, TransitStubParams};
+    use prop_overlay::chord::{Chord, ChordParams};
+    use prop_workloads::LookupGen;
+    use std::sync::Arc;
+
+    fn chord(n: usize, seed: u64) -> (Chord, prop_overlay::OverlayNet, SimRng) {
+        let mut rng = SimRng::seed_from(seed);
+        let phys = generate(&TransitStubParams::tiny(), &mut rng);
+        let oracle = Arc::new(LatencyOracle::select_and_build(&phys, n, &mut rng));
+        let (ch, net) = Chord::build(ChordParams::default(), oracle, &mut rng);
+        (ch, net, rng)
+    }
+
+    #[test]
+    fn path_stretch_at_least_one() {
+        // An overlay route can never beat the direct shortest path.
+        let (ch, net, rng) = chord(30, 1);
+        let live: Vec<Slot> = net.graph().live_slots().collect();
+        let pairs = LookupGen::new(&rng).uniform_pairs(&live, 400);
+        let s = path_stretch(&net, &ch, &pairs);
+        assert!(s >= 1.0, "stretch {s}");
+        assert!(s.is_finite());
+    }
+
+    #[test]
+    fn link_stretch_positive() {
+        let (_, net, _) = chord(30, 2);
+        let s = link_stretch(&net);
+        assert!(s > 0.0 && s.is_finite());
+    }
+
+    #[test]
+    fn better_placement_lowers_link_stretch() {
+        // Greedily improving swaps must lower link stretch.
+        let (_, mut net, _) = chord(30, 3);
+        let before = link_stretch(&net);
+        // Find any beneficial swap and apply it.
+        let mut applied = false;
+        'outer: for a in 0..30u32 {
+            for b in 0..30u32 {
+                if a == b {
+                    continue;
+                }
+                let plan = prop_core::exchange::plan_propg(&net, Slot(a), Slot(b));
+                if plan.var > 0 {
+                    prop_core::exchange::apply(&mut net, &plan);
+                    applied = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(applied, "no beneficial swap found in a random placement");
+        assert!(link_stretch(&net) < before);
+    }
+}

@@ -1,0 +1,115 @@
+//! Single-source shortest paths over link latencies.
+//!
+//! A plain binary-heap Dijkstra. The latency oracle runs one instance per
+//! overlay member (a few thousand sources over a few-thousand-node graph),
+//! parallelized across sources with Rayon in [`crate::oracle`]; per-source
+//! performance is dominated by heap traffic, so distances are `u32`
+//! milliseconds and the visited check is the standard "stale entry" skip.
+
+use crate::graph::{PhysGraph, PhysNodeId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Distance value for unreachable nodes.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Shortest-path latency (ms) from `src` to every node.
+///
+/// Unreachable nodes get [`UNREACHABLE`].
+pub fn shortest_paths(g: &PhysGraph, src: PhysNodeId) -> Vec<u32> {
+    let n = g.num_nodes();
+    let mut dist = vec![UNREACHABLE; n];
+    let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
+    dist[src.index()] = 0;
+    heap.push(Reverse((0, src.0)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue; // stale
+        }
+        for &(v, w) in g.neighbors(PhysNodeId(u)) {
+            let nd = d + w;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    dist
+}
+
+/// Shortest-path latency (ms) between two nodes, or [`UNREACHABLE`].
+///
+/// Convenience for tests and one-off queries; bulk users go through
+/// [`crate::LatencyOracle`].
+pub fn distance(g: &PhysGraph, a: PhysNodeId, b: PhysNodeId) -> u32 {
+    shortest_paths(g, a)[b.index()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{LinkClass, NodeClass, PhysGraphBuilder};
+
+    /// Path graph 0 -5- 1 -7- 2 -1- 3 plus shortcut 0 -20- 3.
+    fn line_with_shortcut() -> PhysGraph {
+        let mut b = PhysGraphBuilder::new();
+        let ids: Vec<_> = (0..4)
+            .map(|_| b.add_node(NodeClass::Transit { domain: 0 }))
+            .collect();
+        b.add_link(ids[0], ids[1], 5, LinkClass::TransitTransit);
+        b.add_link(ids[1], ids[2], 7, LinkClass::TransitTransit);
+        b.add_link(ids[2], ids[3], 1, LinkClass::TransitTransit);
+        b.add_link(ids[0], ids[3], 20, LinkClass::TransitTransit);
+        b.build()
+    }
+
+    #[test]
+    fn shortest_path_beats_direct_link() {
+        let g = line_with_shortcut();
+        let d = shortest_paths(&g, PhysNodeId(0));
+        assert_eq!(d, vec![0, 5, 12, 13]); // 5+7+1 = 13 < 20
+    }
+
+    #[test]
+    fn symmetric_on_undirected_graph() {
+        let g = line_with_shortcut();
+        for a in 0..4u32 {
+            let da = shortest_paths(&g, PhysNodeId(a));
+            for b in 0..4u32 {
+                let db = shortest_paths(&g, PhysNodeId(b));
+                assert_eq!(da[b as usize], db[a as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_marked() {
+        let mut b = PhysGraphBuilder::new();
+        let u = b.add_node(NodeClass::Transit { domain: 0 });
+        let _v = b.add_node(NodeClass::Transit { domain: 1 });
+        let g = b.build();
+        let d = shortest_paths(&g, u);
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], UNREACHABLE);
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        let g = line_with_shortcut();
+        let all: Vec<Vec<u32>> = (0..4).map(|i| shortest_paths(&g, PhysNodeId(i))).collect();
+        for a in 0..4 {
+            for b in 0..4 {
+                for c in 0..4 {
+                    assert!(all[a][b] <= all[a][c] + all[c][b]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distance_helper_matches() {
+        let g = line_with_shortcut();
+        assert_eq!(distance(&g, PhysNodeId(0), PhysNodeId(3)), 13);
+        assert_eq!(distance(&g, PhysNodeId(2), PhysNodeId(2)), 0);
+    }
+}

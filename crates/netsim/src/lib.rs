@@ -1,0 +1,33 @@
+//! # prop-netsim — the physical-network substrate
+//!
+//! The paper evaluates PROP on GT-ITM *transit–stub* topologies: a small,
+//! high-latency backbone of transit domains with many low-latency stub
+//! domains hanging off it. The original experiments used the GT-ITM
+//! generator binary; this crate implements the same model natively:
+//!
+//! * [`PhysGraph`] — an undirected, latency-weighted graph with per-node
+//!   transit/stub classification.
+//! * [`TransitStubParams`] / [`generate`](transit_stub::generate) — the
+//!   generator, with the paper's two presets
+//!   [`TransitStubParams::ts_large`] and [`TransitStubParams::ts_small`].
+//! * [`dijkstra`] — single-source shortest paths over link latencies.
+//! * [`LatencyOracle`] — the `d(u, v)` oracle every protocol and metric
+//!   consults: precomputed shortest-path latencies between the physical
+//!   hosts that joined the overlay (computed in parallel with Rayon).
+//!
+//! ## Faithfulness notes (see DESIGN.md §3)
+//!
+//! Link-class latencies default to transit–transit 100 ms, stub–transit
+//! 20 ms, stub–stub 5 ms. `d(u, v)` is the shortest-path latency in this
+//! graph — exactly the quantity a real PROP deployment estimates by probing.
+
+pub mod dijkstra;
+pub mod graph;
+pub mod oracle;
+pub mod transit_stub;
+pub mod waxman;
+
+pub use graph::{LinkClass, NodeClass, PhysGraph, PhysNodeId};
+pub use oracle::LatencyOracle;
+pub use transit_stub::{generate, TransitStubParams};
+pub use waxman::{generate_waxman, WaxmanParams};

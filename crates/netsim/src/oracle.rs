@@ -1,0 +1,207 @@
+//! The latency oracle: `d(u, v)` for overlay members.
+//!
+//! Every PROP probe, every LTM detector, and every metric evaluation asks
+//! for the end-to-end latency between two overlay members. Rather than
+//! re-running shortest paths on demand, the oracle precomputes the full
+//! member-to-member latency matrix once per experiment: one Dijkstra per
+//! member over the physical graph, fanned out across cores with Rayon
+//! (~1,000 members × ~3,000-node graph completes in well under a second).
+//!
+//! Members are addressed by dense [`MemberIdx`] values `0..n`; the overlay
+//! crates use the same indexing for peers, so `d(peer_a, peer_b)` is a
+//! single array lookup on the hot path.
+
+use crate::dijkstra::shortest_paths;
+use crate::graph::{PhysGraph, PhysNodeId};
+use prop_engine::SimRng;
+use rayon::prelude::*;
+
+/// Dense index of an overlay member inside a [`LatencyOracle`].
+pub type MemberIdx = usize;
+
+/// Precomputed member-to-member shortest-path latencies.
+pub struct LatencyOracle {
+    /// Physical host backing each member.
+    members: Vec<PhysNodeId>,
+    /// Row-major `n × n` latency matrix, ms.
+    matrix: Box<[u32]>,
+    n: usize,
+    /// Mean physical *link* latency — denominator of the stretch metric.
+    mean_phys_link_latency: f64,
+}
+
+impl LatencyOracle {
+    /// Build the oracle for an explicit member set.
+    ///
+    /// Panics if any member cannot reach any other (the transit–stub
+    /// generator always produces connected graphs, so this indicates a bug).
+    pub fn build(graph: &PhysGraph, members: Vec<PhysNodeId>) -> Self {
+        let n = members.len();
+        let rows: Vec<Vec<u32>> = members
+            .par_iter()
+            .map(|&src| {
+                let full = shortest_paths(graph, src);
+                members.iter().map(|&dst| full[dst.index()]).collect()
+            })
+            .collect();
+        let mut matrix = Vec::with_capacity(n * n);
+        for row in rows {
+            matrix.extend_from_slice(&row);
+        }
+        assert!(
+            matrix.iter().all(|&d| d != crate::dijkstra::UNREACHABLE),
+            "latency oracle built over a disconnected member set"
+        );
+        LatencyOracle {
+            members,
+            matrix: matrix.into_boxed_slice(),
+            n,
+            mean_phys_link_latency: graph.mean_link_latency(),
+        }
+    }
+
+    /// Select `n` overlay members uniformly from the graph's stub (edge
+    /// host) population and build the oracle. This mirrors the paper's
+    /// setup: overlay peers are end systems, not backbone routers.
+    ///
+    /// Panics if the graph has fewer than `n` stub nodes.
+    pub fn select_and_build(graph: &PhysGraph, n: usize, rng: &mut SimRng) -> Self {
+        let stubs = graph.stub_nodes();
+        assert!(
+            stubs.len() >= n,
+            "requested {n} members but the topology has only {} stub hosts",
+            stubs.len()
+        );
+        let members = rng.fork("member-selection").sample_distinct(&stubs, n);
+        Self::build(graph, members)
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// End-to-end latency between members `a` and `b`, in ms.
+    #[inline]
+    pub fn d(&self, a: MemberIdx, b: MemberIdx) -> u32 {
+        debug_assert!(a < self.n && b < self.n);
+        self.matrix[a * self.n + b]
+    }
+
+    /// The physical host backing member `i`.
+    #[inline]
+    pub fn host(&self, i: MemberIdx) -> PhysNodeId {
+        self.members[i]
+    }
+
+    /// Mean physical link latency (stretch denominator).
+    #[inline]
+    pub fn mean_phys_link_latency(&self) -> f64 {
+        self.mean_phys_link_latency
+    }
+
+    /// Mean latency over all ordered member pairs (the paper's Eq. 3
+    /// "average latency" over the member population, with `d(i,i) = 0`).
+    pub fn mean_pairwise_latency(&self) -> f64 {
+        if self.n == 0 {
+            return f64::NAN;
+        }
+        let total: u64 = self.matrix.iter().map(|&d| d as u64).sum();
+        total as f64 / (self.n as f64 * self.n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transit_stub::{generate, TransitStubParams};
+
+    fn tiny_oracle(n: usize, seed: u64) -> LatencyOracle {
+        let mut rng = SimRng::seed_from(seed);
+        let g = generate(&TransitStubParams::tiny(), &mut rng);
+        LatencyOracle::select_and_build(&g, n, &mut rng)
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_zero_diagonal() {
+        let o = tiny_oracle(20, 1);
+        for a in 0..o.len() {
+            assert_eq!(o.d(a, a), 0);
+            for b in 0..o.len() {
+                assert_eq!(o.d(a, b), o.d(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_inequality() {
+        let o = tiny_oracle(15, 2);
+        for a in 0..o.len() {
+            for b in 0..o.len() {
+                for c in 0..o.len() {
+                    assert!(o.d(a, b) <= o.d(a, c) + o.d(c, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn members_are_stub_hosts() {
+        let mut rng = SimRng::seed_from(3);
+        let g = generate(&TransitStubParams::tiny(), &mut rng);
+        let o = LatencyOracle::select_and_build(&g, 10, &mut rng);
+        for i in 0..o.len() {
+            assert!(!g.class(o.host(i)).is_transit());
+        }
+    }
+
+    #[test]
+    fn members_are_distinct() {
+        let o = tiny_oracle(30, 4);
+        let mut hosts: Vec<_> = (0..o.len()).map(|i| o.host(i)).collect();
+        hosts.sort();
+        hosts.dedup();
+        assert_eq!(hosts.len(), 30);
+    }
+
+    #[test]
+    fn distances_match_direct_dijkstra() {
+        let mut rng = SimRng::seed_from(5);
+        let g = generate(&TransitStubParams::tiny(), &mut rng);
+        let o = LatencyOracle::select_and_build(&g, 12, &mut rng);
+        for a in 0..o.len() {
+            let full = shortest_paths(&g, o.host(a));
+            for b in 0..o.len() {
+                assert_eq!(o.d(a, b), full[o.host(b).index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn mean_pairwise_latency_positive() {
+        let o = tiny_oracle(10, 6);
+        let m = o.mean_pairwise_latency();
+        assert!(m > 0.0 && m.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "stub hosts")]
+    fn oversubscription_rejected() {
+        let _ = tiny_oracle(1000, 7);
+    }
+
+    #[test]
+    fn deterministic_selection() {
+        let a = tiny_oracle(10, 8);
+        let b = tiny_oracle(10, 8);
+        for i in 0..10 {
+            assert_eq!(a.host(i), b.host(i));
+        }
+    }
+}

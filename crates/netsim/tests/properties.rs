@@ -1,0 +1,104 @@
+//! Property tests for the physical-network substrate: every generated
+//! topology, at any parameterization, must satisfy the invariants the rest
+//! of the stack assumes.
+
+use prop_engine::SimRng;
+use prop_netsim::waxman::{generate_waxman, WaxmanParams};
+use prop_netsim::{generate, LatencyOracle, TransitStubParams};
+use proptest::test_runner::Config as ProptestConfig;
+use proptest::{prop_assert, prop_assert_eq, proptest};
+
+fn ts_params(
+    domains: usize,
+    transit: usize,
+    stubs: usize,
+    hosts: usize,
+    extra: f64,
+) -> TransitStubParams {
+    TransitStubParams {
+        transit_domains: domains,
+        transit_nodes_per_domain: transit,
+        stub_domains_per_transit: stubs,
+        nodes_per_stub_domain: hosts,
+        extra_domain_edge: extra,
+        extra_transit_edge: extra,
+        extra_stub_edge: extra / 4.0,
+        transit_transit_ms: 100,
+        stub_transit_ms: 20,
+        stub_stub_ms: 5,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any transit–stub parameterization yields a connected graph of the
+    /// predicted size with only the three sanctioned link latencies.
+    #[test]
+    fn transit_stub_always_well_formed(
+        domains in 1usize..6,
+        transit in 1usize..5,
+        stubs in 1usize..4,
+        hosts in 1usize..12,
+        extra in 0.0f64..0.6,
+        seed in 0u64..10_000,
+    ) {
+        let p = ts_params(domains, transit, stubs, hosts, extra);
+        let g = generate(&p, &mut SimRng::seed_from(seed));
+        prop_assert_eq!(g.num_nodes(), p.total_nodes());
+        prop_assert!(g.is_connected());
+        for u in g.nodes() {
+            for &(_, w) in g.neighbors(u) {
+                prop_assert!([5, 20, 100].contains(&w), "latency {w}");
+            }
+        }
+        // Stub population matches: total − transit.
+        let transit_total = domains * transit;
+        prop_assert_eq!(g.stub_nodes().len(), p.total_nodes() - transit_total);
+    }
+
+    /// Waxman graphs are connected for any parameters, with latencies in
+    /// `(0, max]`.
+    #[test]
+    fn waxman_always_well_formed(
+        nodes in 2usize..120,
+        alpha in 0.005f64..0.8,
+        beta in 0.05f64..0.6,
+        seed in 0u64..10_000,
+    ) {
+        let p = WaxmanParams { nodes, alpha, beta, max_latency_ms: 120 };
+        let g = generate_waxman(&p, &mut SimRng::seed_from(seed));
+        prop_assert_eq!(g.num_nodes(), nodes);
+        prop_assert!(g.is_connected());
+        for u in g.nodes() {
+            for &(_, w) in g.neighbors(u) {
+                prop_assert!(w >= 1 && w <= 120);
+            }
+        }
+    }
+
+    /// The latency oracle is a metric: symmetric, zero diagonal, triangle
+    /// inequality — on arbitrary generated topologies and member subsets.
+    #[test]
+    fn oracle_is_a_metric(
+        hosts in 2usize..8,
+        stubs in 1usize..3,
+        members in 2usize..12,
+        seed in 0u64..10_000,
+    ) {
+        let p = ts_params(2, 2, stubs, hosts, 0.3);
+        let mut rng = SimRng::seed_from(seed);
+        let g = generate(&p, &mut rng);
+        let m = members.min(g.stub_nodes().len());
+        let o = LatencyOracle::select_and_build(&g, m, &mut rng);
+        for a in 0..m {
+            prop_assert_eq!(o.d(a, a), 0);
+            for b in 0..m {
+                prop_assert_eq!(o.d(a, b), o.d(b, a));
+                for c in 0..m {
+                    prop_assert!(o.d(a, b) <= o.d(a, c) + o.d(c, b), "triangle violated");
+                }
+            }
+        }
+    }
+}

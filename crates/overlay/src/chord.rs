@@ -1,0 +1,400 @@
+//! Chord DHT.
+//!
+//! A full identifier-ring Chord over a 64-bit key space: every *slot* owns a
+//! random identifier; routing state is the immediate successor, a short
+//! successor list (fault tolerance, and the paper's "extended routing table"
+//! that records predecessors as bidirectional links), and the classic finger
+//! table (`finger[i]` = first node ≥ `id + 2^i`).
+//!
+//! Identifiers belong to **slots**, not peers: a PROP-G exchange swaps which
+//! physical peer sits at which identifier ("instead of regenerating its
+//! identifier, each node is only allowed to get old identifiers of other
+//! nodes"), so the ring structure — and therefore every DHT guarantee — is
+//! untouched. That is exactly the paper's Theorem 2 specialized to Chord.
+//!
+//! Lookups use iterative greedy routing via the closest preceding finger,
+//! the textbook O(log n)-hop discipline.
+
+use crate::logical::{LogicalGraph, Slot};
+use crate::net::OverlayNet;
+use crate::placement::Placement;
+use crate::{Lookup, RouteOutcome};
+use prop_engine::SimRng;
+use prop_netsim::LatencyOracle;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Number of bits in the identifier space.
+pub const ID_BITS: u32 = 64;
+
+/// Chord construction parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ChordParams {
+    /// Successor-list length (≥ 1).
+    pub successors: usize,
+}
+
+impl Default for ChordParams {
+    fn default() -> Self {
+        ChordParams { successors: 3 }
+    }
+}
+
+/// The identifier-ring structure. Immutable once built; placement mobility
+/// (PROP-G) happens in the [`OverlayNet`]'s [`Placement`].
+#[derive(Clone, Debug)]
+pub struct Chord {
+    /// Identifier of each slot.
+    ids: Vec<u64>,
+    /// Slots sorted by identifier (the ring).
+    ring: Vec<Slot>,
+    /// Per slot: deduplicated outgoing routing entries
+    /// (successor list ∪ fingers), sorted by slot index.
+    table: Vec<Vec<Slot>>,
+    /// Immediate successor per slot.
+    successor: Vec<Slot>,
+}
+
+/// Is `x` in the half-open circular interval `(a, b]`?
+#[inline]
+fn in_interval_oc(a: u64, x: u64, b: u64) -> bool {
+    if a < b {
+        a < x && x <= b
+    } else if a > b {
+        x > a || x <= b
+    } else {
+        // a == b: the interval is the whole ring.
+        true
+    }
+}
+
+impl Chord {
+    /// Build a Chord ring of `oracle.len()` slots with random distinct
+    /// identifiers. Finger entries follow the standard rule (first node at
+    /// or after `id + 2^i`).
+    pub fn build(
+        params: ChordParams,
+        oracle: Arc<LatencyOracle>,
+        rng: &mut SimRng,
+    ) -> (Chord, OverlayNet) {
+        Self::build_with_selector(params, oracle, rng, |_slot, candidates, _| candidates[0])
+    }
+
+    /// Build with a custom finger-candidate selector, the hook the PNS
+    /// baseline uses: for each finger, `select(slot, candidates, i)` picks
+    /// among the first few nodes that legally satisfy finger `i` (candidates
+    /// are in ring order starting at the canonical entry).
+    pub fn build_with_selector(
+        params: ChordParams,
+        oracle: Arc<LatencyOracle>,
+        rng: &mut SimRng,
+        mut select: impl FnMut(Slot, &[Slot], u32) -> Slot,
+    ) -> (Chord, OverlayNet) {
+        let n = oracle.len();
+        assert!(n >= 2, "Chord needs at least two nodes");
+        assert!(params.successors >= 1);
+        let mut rng = rng.fork("chord-build");
+
+        // Random distinct ids.
+        let mut ids = vec![0u64; n];
+        let mut used = std::collections::HashSet::with_capacity(n);
+        for id in ids.iter_mut() {
+            loop {
+                let cand: u64 = rng.range(0..u64::MAX);
+                if used.insert(cand) {
+                    *id = cand;
+                    break;
+                }
+            }
+        }
+
+        let mut ring: Vec<Slot> = (0..n as u32).map(Slot).collect();
+        ring.sort_by_key(|s| ids[s.index()]);
+
+        // rank[slot] = position on the ring.
+        let mut rank = vec![0usize; n];
+        for (r, &s) in ring.iter().enumerate() {
+            rank[s.index()] = r;
+        }
+
+        let mut successor = vec![Slot(0); n];
+        let mut table: Vec<Vec<Slot>> = vec![Vec::new(); n];
+        // How many legal candidates the selector sees per finger: enough for
+        // PNS to matter, small enough to stay O(n log n).
+        const CANDIDATES: usize = 4;
+
+        for &s in &ring {
+            let r = rank[s.index()];
+            successor[s.index()] = ring[(r + 1) % n];
+            let mut entries: Vec<Slot> = Vec::new();
+            // Successor list.
+            for k in 1..=params.successors.min(n - 1) {
+                entries.push(ring[(r + k) % n]);
+            }
+            // Fingers.
+            let my_id = ids[s.index()];
+            for i in 0..ID_BITS {
+                let target = my_id.wrapping_add(1u64 << i);
+                // First ring position with id ≥ target (circular).
+                let pos = ring.partition_point(|t| ids[t.index()] < target) % n;
+                // The canonical finger and the next few ring nodes are all
+                // legal "≥ target" choices; present them to the selector.
+                let mut cands = Vec::with_capacity(CANDIDATES);
+                for k in 0..CANDIDATES.min(n) {
+                    let c = ring[(pos + k) % n];
+                    if c != s {
+                        cands.push(c);
+                    }
+                }
+                if cands.is_empty() {
+                    continue;
+                }
+                let chosen = select(s, &cands, i);
+                debug_assert!(cands.contains(&chosen), "selector must pick a candidate");
+                entries.push(chosen);
+            }
+            entries.sort_unstable();
+            entries.dedup();
+            entries.retain(|&e| e != s);
+            table[s.index()] = entries;
+        }
+
+        // Undirected logical graph = union of directed routing entries.
+        let mut g = LogicalGraph::new(n);
+        for s in 0..n as u32 {
+            for &e in &table[s as usize] {
+                if !g.has_edge(Slot(s), e) {
+                    g.add_edge(Slot(s), e);
+                }
+            }
+        }
+
+        let chord = Chord { ids, ring, table, successor };
+        let net = OverlayNet::new(g, Placement::identity(n), oracle);
+        (chord, net)
+    }
+
+    /// Identifier of `s`.
+    #[inline]
+    pub fn id(&self, s: Slot) -> u64 {
+        self.ids[s.index()]
+    }
+
+    /// The slot responsible for `key`: its successor on the ring.
+    pub fn owner_of(&self, key: u64) -> Slot {
+        let pos = self.ring.partition_point(|t| self.ids[t.index()] < key) % self.ring.len();
+        self.ring[pos]
+    }
+
+    /// Immediate ring successor of `s`.
+    #[inline]
+    pub fn successor(&self, s: Slot) -> Slot {
+        self.successor[s.index()]
+    }
+
+    /// Outgoing routing entries of `s` (successor list ∪ fingers).
+    #[inline]
+    pub fn entries(&self, s: Slot) -> &[Slot] {
+        &self.table[s.index()]
+    }
+
+    /// Route from `src` to the slot owning `key`, returning the slot path.
+    /// Classic greedy: jump to the routing entry whose id is the closest
+    /// predecessor of `key` (or `key` itself); the successor link guarantees
+    /// progress, so the walk always terminates.
+    pub fn route_path(&self, src: Slot, key: u64) -> Vec<Slot> {
+        let dst = self.owner_of(key);
+        let mut path = vec![src];
+        let mut cur = src;
+        while cur != dst {
+            let cur_id = self.ids[cur.index()];
+            // Best entry: id in (cur_id, key], maximizing circular progress
+            // (closest to key from below, i.e. latest in ring order).
+            let mut best: Option<(u64, Slot)> = None; // (circular distance to key, slot)
+            for &e in &self.table[cur.index()] {
+                let eid = self.ids[e.index()];
+                if in_interval_oc(cur_id, eid, key) {
+                    let gap = key.wrapping_sub(eid); // 0 when eid == key
+                    if best.is_none_or(|(g, _)| gap < g) {
+                        best = Some((gap, e));
+                    }
+                }
+            }
+            let next = best.map(|(_, s)| s).unwrap_or_else(|| self.successor(cur));
+            debug_assert_ne!(next, cur, "routing made no progress");
+            path.push(next);
+            cur = next;
+        }
+        path
+    }
+}
+
+impl Lookup for Chord {
+    /// Latency of looking up a key owned by `dst`, starting at `src`.
+    fn lookup(&self, net: &OverlayNet, src: Slot, dst: Slot) -> Option<RouteOutcome> {
+        let path = self.route_path(src, self.ids[dst.index()]);
+        debug_assert_eq!(*path.last().unwrap(), dst);
+        let mut latency: u64 = 0;
+        for w in path.windows(2) {
+            latency += net.d(w[0], w[1]) as u64 + net.proc_delay(w[1]) as u64;
+        }
+        Some(RouteOutcome { latency_ms: latency, hops: (path.len() - 1) as u32 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prop_netsim::{generate, TransitStubParams};
+
+    fn oracle(n: usize, seed: u64) -> Arc<LatencyOracle> {
+        let mut rng = SimRng::seed_from(seed);
+        let phys = generate(&TransitStubParams::tiny(), &mut rng);
+        Arc::new(LatencyOracle::select_and_build(&phys, n, &mut rng))
+    }
+
+    fn build(n: usize, seed: u64) -> (Chord, OverlayNet) {
+        let mut rng = SimRng::seed_from(seed);
+        Chord::build(ChordParams::default(), oracle(n, seed), &mut rng)
+    }
+
+    #[test]
+    fn ring_is_a_permutation_sorted_by_id() {
+        let (ch, _) = build(20, 1);
+        for w in ch.ring.windows(2) {
+            assert!(ch.id(w[0]) < ch.id(w[1]));
+        }
+        let mut slots: Vec<_> = ch.ring.clone();
+        slots.sort_unstable();
+        assert_eq!(slots, (0..20).map(Slot).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn owner_is_successor_of_key() {
+        let (ch, _) = build(20, 2);
+        for s in 0..20u32 {
+            // A node owns its own id.
+            assert_eq!(ch.owner_of(ch.id(Slot(s))), Slot(s));
+            // A key just above an id is owned by the next node.
+            let key = ch.id(Slot(s)).wrapping_add(1);
+            let owner = ch.owner_of(key);
+            assert_ne!(owner, Slot(s));
+        }
+    }
+
+    #[test]
+    fn every_lookup_terminates_at_owner() {
+        let (ch, net) = build(25, 3);
+        for a in 0..25u32 {
+            for b in 0..25u32 {
+                let out = ch.lookup(&net, Slot(a), Slot(b)).unwrap();
+                if a == b {
+                    assert_eq!(out.hops, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hop_counts_are_logarithmic() {
+        let (ch, net) = build(40, 4);
+        let mut total_hops = 0u64;
+        let mut count = 0u64;
+        for a in 0..40u32 {
+            for b in 0..40u32 {
+                if a != b {
+                    total_hops += ch.lookup(&net, Slot(a), Slot(b)).unwrap().hops as u64;
+                    count += 1;
+                }
+            }
+        }
+        let avg = total_hops as f64 / count as f64;
+        // O(log n) ≈ ½·log₂(40) ≈ 2.7; generous bound.
+        assert!(avg < 6.0, "average hops {avg}");
+        assert!(avg >= 1.0);
+    }
+
+    #[test]
+    fn routing_ids_monotonically_approach_key() {
+        let (ch, _) = build(30, 5);
+        let src = Slot(0);
+        let dst = Slot(17);
+        let key = ch.id(dst);
+        let path = ch.route_path(src, key);
+        assert_eq!(*path.last().unwrap(), dst);
+        // Circular gap to the key must strictly shrink every hop.
+        let mut prev_gap = key.wrapping_sub(ch.id(src));
+        for &s in &path[1..] {
+            let gap = key.wrapping_sub(ch.id(s));
+            assert!(gap < prev_gap, "no progress at {s:?}");
+            prev_gap = gap;
+        }
+    }
+
+    #[test]
+    fn entries_contain_successor() {
+        let (ch, _) = build(15, 6);
+        for s in 0..15u32 {
+            assert!(ch.entries(Slot(s)).contains(&ch.successor(Slot(s))));
+        }
+    }
+
+    #[test]
+    fn logical_graph_is_connected() {
+        let (_, net) = build(20, 7);
+        assert!(net.graph().is_connected());
+    }
+
+    #[test]
+    fn prop_g_swap_keeps_routing_correct() {
+        // Swap several placements (what PROP-G does) and verify lookups
+        // still terminate at the right owner with the same hop counts —
+        // the ring is slot-level, so placement is irrelevant to routing.
+        let (ch, mut net) = build(20, 8);
+        let before: Vec<u32> =
+            (1..20).map(|b| ch.lookup(&net, Slot(0), Slot(b)).unwrap().hops).collect();
+        net.swap_peers(Slot(3), Slot(12));
+        net.swap_peers(Slot(5), Slot(19));
+        let after: Vec<u32> =
+            (1..20).map(|b| ch.lookup(&net, Slot(0), Slot(b)).unwrap().hops).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn interval_oc_semantics() {
+        assert!(in_interval_oc(3, 5, 9));
+        assert!(in_interval_oc(3, 9, 9));
+        assert!(!in_interval_oc(3, 3, 9));
+        assert!(!in_interval_oc(3, 10, 9));
+        // Wrapping interval.
+        assert!(in_interval_oc(u64::MAX - 1, 2, 5));
+        assert!(!in_interval_oc(u64::MAX - 1, u64::MAX - 3, 5));
+        // Degenerate: whole ring.
+        assert!(in_interval_oc(7, 1, 7));
+    }
+
+    #[test]
+    fn custom_selector_is_honored() {
+        // A selector that always picks the last candidate still yields a
+        // working (terminating, owner-correct) Chord.
+        let mut rng = SimRng::seed_from(9);
+        let (ch, net) = Chord::build_with_selector(
+            ChordParams::default(),
+            oracle(20, 9),
+            &mut rng,
+            |_, cands, _| *cands.last().unwrap(),
+        );
+        for b in 0..20u32 {
+            let out = ch.lookup(&net, Slot(2), Slot(b)).unwrap();
+            assert!(out.hops <= 20);
+        }
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let (c1, _) = build(20, 10);
+        let (c2, _) = build(20, 10);
+        assert_eq!(c1.ids, c2.ids);
+        assert_eq!(c1.table, c2.table);
+    }
+}

@@ -1,0 +1,379 @@
+//! Chord with membership dynamics.
+//!
+//! [`crate::chord::Chord`] is a static snapshot — ideal for the
+//! figure-level experiments, where membership is fixed. The paper's
+//! dynamic-environment claims, though, cover structured systems too
+//! ("notifications can still be implemented by using the underlying
+//! mechanisms just as what happens when peers arrive or depart"), so this
+//! module provides a Chord whose ring *changes*:
+//!
+//! * [`DynamicChord::leave`] removes a node; keys it owned fall to its
+//!   successor; every finger that pointed at it is re-resolved.
+//! * [`DynamicChord::join`] inserts a peer with a fresh identifier,
+//!   splitting its successor's key range and acquiring its own tables.
+//!
+//! Maintenance is modeled as an immediate, correct stabilization pass (the
+//! eventual consistency a real Chord converges to): after each event the
+//! routing state equals what a full rebuild over the live population would
+//! produce, and the *logical-graph delta* is applied edge by edge so the
+//! PROP driver can resync exactly the affected nodes.
+
+use crate::chord::ChordParams;
+use crate::logical::{LogicalGraph, Slot};
+use crate::net::OverlayNet;
+use crate::placement::Placement;
+use crate::{Lookup, RouteOutcome};
+use prop_engine::SimRng;
+use prop_netsim::oracle::MemberIdx;
+use prop_netsim::LatencyOracle;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// A Chord ring that supports joins and leaves.
+pub struct DynamicChord {
+    params: ChordParams,
+    /// Identifier per slot; `None` = departed.
+    ids: Vec<Option<u64>>,
+    /// Live slots sorted by identifier.
+    ring: Vec<Slot>,
+    /// Routing entries per slot (empty for dead slots).
+    table: Vec<Vec<Slot>>,
+    successor: Vec<Option<Slot>>,
+    rng: SimRng,
+}
+
+impl DynamicChord {
+    /// Fresh ring over the oracle's whole membership (same shape as
+    /// [`crate::chord::Chord::build`]).
+    pub fn build(
+        params: ChordParams,
+        oracle: Arc<LatencyOracle>,
+        rng: &mut SimRng,
+    ) -> (DynamicChord, OverlayNet) {
+        let n = oracle.len();
+        assert!(n >= 2);
+        let mut rng = rng.fork("dynamic-chord");
+        let mut used = HashSet::with_capacity(n);
+        let ids: Vec<Option<u64>> = (0..n)
+            .map(|_| loop {
+                let cand: u64 = rng.range(0..u64::MAX);
+                if used.insert(cand) {
+                    return Some(cand);
+                }
+            })
+            .collect();
+        let mut dc = DynamicChord {
+            params,
+            ids,
+            ring: Vec::new(),
+            table: vec![Vec::new(); n],
+            successor: vec![None; n],
+            rng,
+        };
+        let mut g = LogicalGraph::new(n);
+        dc.rebuild(&mut g);
+        let net = OverlayNet::new(g, Placement::identity(n), oracle);
+        (dc, net)
+    }
+
+    /// Identifier of a live slot.
+    pub fn id(&self, s: Slot) -> u64 {
+        self.ids[s.index()].expect("live slot")
+    }
+
+    /// Number of live ring members.
+    pub fn ring_len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// The live slot owning `key` (its successor on the ring).
+    pub fn owner_of(&self, key: u64) -> Slot {
+        let pos = self
+            .ring
+            .partition_point(|t| self.ids[t.index()].unwrap() < key)
+            % self.ring.len();
+        self.ring[pos]
+    }
+
+    /// Recompute ring/successors/tables over live slots and mutate `g` to
+    /// the new edge set. Returns the slots whose neighbor lists changed.
+    fn rebuild(&mut self, g: &mut LogicalGraph) -> Vec<Slot> {
+        let live: Vec<Slot> = (0..self.ids.len() as u32)
+            .map(Slot)
+            .filter(|s| self.ids[s.index()].is_some())
+            .collect();
+        assert!(live.len() >= 2, "ring too small");
+        let mut ring = live.clone();
+        ring.sort_by_key(|s| self.ids[s.index()].unwrap());
+        let n = ring.len();
+        let mut rank = vec![usize::MAX; self.ids.len()];
+        for (r, &s) in ring.iter().enumerate() {
+            rank[s.index()] = r;
+        }
+
+        let mut new_table: Vec<Vec<Slot>> = vec![Vec::new(); self.ids.len()];
+        let mut new_successor: Vec<Option<Slot>> = vec![None; self.ids.len()];
+        for &s in &ring {
+            let r = rank[s.index()];
+            new_successor[s.index()] = Some(ring[(r + 1) % n]);
+            let mut entries = Vec::new();
+            for k in 1..=self.params.successors.min(n - 1) {
+                entries.push(ring[(r + k) % n]);
+            }
+            let my_id = self.ids[s.index()].unwrap();
+            for i in 0..64 {
+                let target = my_id.wrapping_add(1u64 << i);
+                let pos = ring
+                    .partition_point(|t| self.ids[t.index()].unwrap() < target)
+                    % n;
+                let e = ring[pos];
+                if e != s {
+                    entries.push(e);
+                }
+            }
+            entries.sort_unstable();
+            entries.dedup();
+            entries.retain(|&e| e != s);
+            new_table[s.index()] = entries;
+        }
+
+        // Edge diff: undirected union of entries, old vs new.
+        let edge_set = |table: &Vec<Vec<Slot>>| -> HashSet<(Slot, Slot)> {
+            let mut set = HashSet::new();
+            for (i, entries) in table.iter().enumerate() {
+                let s = Slot(i as u32);
+                for &e in entries {
+                    set.insert((s.min(e), s.max(e)));
+                }
+            }
+            set
+        };
+        let old_edges = edge_set(&self.table);
+        let new_edges = edge_set(&new_table);
+        let mut affected: HashSet<Slot> = HashSet::new();
+        for &(a, b) in old_edges.difference(&new_edges) {
+            if g.has_edge(a, b) {
+                g.remove_edge(a, b);
+            }
+            affected.insert(a);
+            affected.insert(b);
+        }
+        for &(a, b) in new_edges.difference(&old_edges) {
+            if !g.has_edge(a, b) {
+                g.add_edge(a, b);
+            }
+            affected.insert(a);
+            affected.insert(b);
+        }
+
+        self.ring = ring;
+        self.table = new_table;
+        self.successor = new_successor;
+        affected.into_iter().filter(|s| g.is_alive(*s)).collect()
+    }
+
+    /// The peer at `slot` departs. Returns the affected slots (for the
+    /// PROP driver's resync).
+    pub fn leave(&mut self, net: &mut OverlayNet, slot: Slot) -> Vec<Slot> {
+        assert!(self.ids[slot.index()].is_some(), "leaving twice");
+        self.ids[slot.index()] = None;
+        // Drop the slot from the logical graph first (removes its edges),
+        // then rebuild the survivors' tables.
+        net.graph_mut().remove_slot(slot);
+        net.placement_mut().vacate(slot);
+        self.table[slot.index()].clear();
+        self.successor[slot.index()] = None;
+        self.rebuild(net.graph_mut())
+    }
+
+    /// `peer` (absent) joins with a fresh random identifier. Returns its
+    /// new slot and the affected slots.
+    pub fn join(&mut self, net: &mut OverlayNet, peer: MemberIdx) -> (Slot, Vec<Slot>) {
+        let slot = net.graph_mut().add_slot();
+        net.placement_mut().occupy(slot, peer);
+        if slot.index() >= self.ids.len() {
+            self.ids.resize(slot.index() + 1, None);
+            self.table.resize(slot.index() + 1, Vec::new());
+            self.successor.resize(slot.index() + 1, None);
+        }
+        let id = loop {
+            let cand: u64 = self.rng.range(0..u64::MAX);
+            if !self.ids.contains(&Some(cand)) {
+                break cand;
+            }
+        };
+        self.ids[slot.index()] = Some(id);
+        let affected = self.rebuild(net.graph_mut());
+        (slot, affected)
+    }
+
+    /// Greedy route to the owner of `key` (same discipline as the static
+    /// Chord).
+    pub fn route_path(&self, src: Slot, key: u64) -> Vec<Slot> {
+        let dst = self.owner_of(key);
+        let mut path = vec![src];
+        let mut cur = src;
+        while cur != dst {
+            let cur_id = self.ids[cur.index()].unwrap();
+            let mut best: Option<(u64, Slot)> = None;
+            for &e in &self.table[cur.index()] {
+                let eid = self.ids[e.index()].unwrap();
+                let in_interval = if cur_id < key {
+                    cur_id < eid && eid <= key
+                } else if cur_id > key {
+                    eid > cur_id || eid <= key
+                } else {
+                    true
+                };
+                if in_interval {
+                    let gap = key.wrapping_sub(eid);
+                    if best.is_none_or(|(bg, _)| gap < bg) {
+                        best = Some((gap, e));
+                    }
+                }
+            }
+            let next = best
+                .map(|(_, s)| s)
+                .or(self.successor[cur.index()])
+                .expect("live node has a successor");
+            debug_assert_ne!(next, cur);
+            path.push(next);
+            cur = next;
+        }
+        path
+    }
+}
+
+impl Lookup for DynamicChord {
+    fn lookup(&self, net: &OverlayNet, src: Slot, dst: Slot) -> Option<RouteOutcome> {
+        let path = self.route_path(src, self.id(dst));
+        debug_assert_eq!(*path.last().unwrap(), dst);
+        let mut latency = 0u64;
+        for w in path.windows(2) {
+            latency += net.d(w[0], w[1]) as u64 + net.proc_delay(w[1]) as u64;
+        }
+        Some(RouteOutcome { latency_ms: latency, hops: (path.len() - 1) as u32 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prop_netsim::{generate, TransitStubParams};
+
+    fn setup(n: usize, seed: u64) -> (DynamicChord, OverlayNet, SimRng) {
+        let mut rng = SimRng::seed_from(seed);
+        let phys = generate(&TransitStubParams::tiny(), &mut rng);
+        let oracle = Arc::new(LatencyOracle::select_and_build(&phys, n, &mut rng));
+        let (dc, net) = DynamicChord::build(ChordParams::default(), oracle, &mut rng);
+        (dc, net, rng)
+    }
+
+    fn assert_all_lookups_correct(dc: &DynamicChord, net: &OverlayNet) {
+        let live: Vec<Slot> = net.graph().live_slots().collect();
+        for &a in &live {
+            for &b in &live {
+                let out = dc.lookup(net, a, b).unwrap();
+                if a == b {
+                    assert_eq!(out.hops, 0);
+                }
+                assert!(out.hops as usize <= live.len());
+            }
+        }
+    }
+
+    #[test]
+    fn fresh_ring_routes_correctly() {
+        let (dc, net, _) = setup(25, 1);
+        assert!(net.graph().is_connected());
+        assert_all_lookups_correct(&dc, &net);
+    }
+
+    #[test]
+    fn leaves_keep_the_ring_correct() {
+        let (mut dc, mut net, mut rng) = setup(25, 2);
+        for _ in 0..10 {
+            let live: Vec<Slot> = net.graph().live_slots().collect();
+            let victim = *rng.pick(&live).unwrap();
+            let affected = dc.leave(&mut net, victim);
+            assert!(!affected.contains(&victim));
+            assert!(net.graph().is_connected());
+            assert_all_lookups_correct(&dc, &net);
+        }
+        assert_eq!(dc.ring_len(), 15);
+    }
+
+    #[test]
+    fn joins_keep_the_ring_correct() {
+        let (mut dc, mut net, mut rng) = setup(20, 3);
+        // Remove five peers, then re-admit them at new slots.
+        let mut absent = Vec::new();
+        for _ in 0..5 {
+            let live: Vec<Slot> = net.graph().live_slots().collect();
+            let victim = *rng.pick(&live).unwrap();
+            let peer = net.peer(victim);
+            dc.leave(&mut net, victim);
+            absent.push(peer);
+        }
+        for peer in absent {
+            let (slot, affected) = dc.join(&mut net, peer);
+            assert!(net.graph().is_alive(slot));
+            assert!(!affected.is_empty());
+            assert!(net.graph().is_connected());
+            assert_all_lookups_correct(&dc, &net);
+        }
+        assert_eq!(dc.ring_len(), 20);
+        assert!(net.placement().is_consistent());
+    }
+
+    #[test]
+    fn owner_moves_to_successor_after_leave() {
+        let (mut dc, mut net, _) = setup(20, 4);
+        let victim = Slot(7);
+        let key = dc.id(victim);
+        assert_eq!(dc.owner_of(key), victim);
+        dc.leave(&mut net, victim);
+        let new_owner = dc.owner_of(key);
+        assert_ne!(new_owner, victim);
+        // The new owner's id is the smallest ≥ key among the living (or
+        // wraps): verify minimal clockwise distance.
+        let live: Vec<Slot> = net.graph().live_slots().collect();
+        let clockwise = |s: Slot| dc.id(s).wrapping_sub(key);
+        for &s in &live {
+            assert!(clockwise(new_owner) <= clockwise(s));
+        }
+    }
+
+    #[test]
+    fn propg_swaps_compose_with_churn() {
+        let (mut dc, mut net, mut rng) = setup(25, 5);
+        for round in 0..8 {
+            // Swap two random live peers (what PROP-G does)…
+            let live: Vec<Slot> = net.graph().live_slots().collect();
+            let a = *rng.pick(&live).unwrap();
+            let b = *rng.pick(&live).unwrap();
+            if a != b {
+                net.swap_peers(a, b);
+            }
+            // …then churn.
+            let live: Vec<Slot> = net.graph().live_slots().collect();
+            if round % 2 == 0 && live.len() > 10 {
+                let victim = *rng.pick(&live).unwrap();
+                let peer = net.peer(victim);
+                dc.leave(&mut net, victim);
+                let (_, _) = dc.join(&mut net, peer);
+            }
+            assert!(net.graph().is_connected());
+            assert!(net.placement().is_consistent());
+            assert_all_lookups_correct(&dc, &net);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "leaving twice")]
+    fn double_leave_rejected() {
+        let (mut dc, mut net, _) = setup(10, 6);
+        dc.leave(&mut net, Slot(3));
+        dc.leave(&mut net, Slot(3));
+    }
+}

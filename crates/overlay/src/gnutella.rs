@@ -1,0 +1,269 @@
+//! Gnutella-like unstructured overlay.
+//!
+//! Peers join by opening connections to a handful of already-present peers;
+//! with preferential attachment this reproduces the power-law-ish degree
+//! distribution measured on the real Gnutella network (Ripeanu et al.),
+//! where "powerful, reliable nodes … inherently have more connections" —
+//! the feature PROP-O is designed to preserve.
+//!
+//! Queries are flooded with a TTL. We model the latency of a flooded lookup
+//! as the cost of the fastest ≤TTL-hop overlay path from requester to the
+//! object holder — the path along which the first query copy arrives.
+
+use crate::logical::{LogicalGraph, Slot};
+use crate::net::OverlayNet;
+use crate::placement::Placement;
+use crate::{Lookup, RouteOutcome};
+use prop_engine::SimRng;
+use prop_netsim::LatencyOracle;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Construction and flooding parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GnutellaParams {
+    /// Connections each joining peer opens. This is also the minimum degree
+    /// δ(G) of the resulting overlay (the paper's default PROP-O `m`).
+    pub links_per_join: usize,
+    /// Preferential attachment (`true`, power-law-ish, the Gnutella shape)
+    /// vs uniform attachment.
+    pub preferential: bool,
+    /// Flood TTL for lookups (classic Gnutella default: 7).
+    pub flood_ttl: u32,
+}
+
+impl Default for GnutellaParams {
+    fn default() -> Self {
+        GnutellaParams { links_per_join: 4, preferential: true, flood_ttl: 7 }
+    }
+}
+
+/// The Gnutella overlay: flooding-based lookups over an [`OverlayNet`].
+#[derive(Clone, Debug)]
+pub struct Gnutella {
+    pub params: GnutellaParams,
+}
+
+impl Gnutella {
+    /// Build an `n`-peer overlay over the oracle's member population
+    /// (`oracle.len() == n`), with peers joining in random order.
+    pub fn build(
+        params: GnutellaParams,
+        oracle: Arc<LatencyOracle>,
+        rng: &mut SimRng,
+    ) -> (Gnutella, OverlayNet) {
+        let n = oracle.len();
+        let k = params.links_per_join;
+        assert!(n > k, "need more than links_per_join peers");
+        let mut rng = rng.fork("gnutella-build");
+        let mut g = LogicalGraph::new(n);
+
+        // `endpoints` holds each edge's two ends; sampling a uniform entry
+        // samples a slot with probability ∝ its degree (preferential
+        // attachment à la Barabási–Albert).
+        let mut endpoints: Vec<Slot> = Vec::with_capacity(2 * n * k);
+
+        // Seed clique of k+1 slots so every later joiner can find k targets
+        // and the minimum degree is exactly k.
+        for a in 0..=(k as u32) {
+            for b in (a + 1)..=(k as u32) {
+                g.add_edge(Slot(a), Slot(b));
+                endpoints.push(Slot(a));
+                endpoints.push(Slot(b));
+            }
+        }
+
+        for s in (k + 1)..n {
+            let joiner = Slot(s as u32);
+            let mut chosen: Vec<Slot> = Vec::with_capacity(k);
+            while chosen.len() < k {
+                let target = if params.preferential {
+                    *rng.pick(&endpoints).expect("seed clique populated endpoints")
+                } else {
+                    Slot(rng.range(0..s as u32))
+                };
+                if target != joiner && !chosen.contains(&target) {
+                    chosen.push(target);
+                }
+            }
+            for t in chosen {
+                g.add_edge(joiner, t);
+                endpoints.push(joiner);
+                endpoints.push(t);
+            }
+        }
+
+        let net = OverlayNet::new(g, Placement::identity(n), oracle);
+        (Gnutella { params }, net)
+    }
+
+    /// Churn: a previously-absent `peer` joins, wiring `links_per_join`
+    /// connections to random live slots. Returns its new slot.
+    pub fn join(
+        &self,
+        net: &mut OverlayNet,
+        peer: prop_netsim::oracle::MemberIdx,
+        rng: &mut SimRng,
+    ) -> Slot {
+        let live: Vec<Slot> = net.graph().live_slots().collect();
+        assert!(live.len() >= self.params.links_per_join);
+        let slot = net.graph_mut().add_slot();
+        net.placement_mut().occupy(slot, peer);
+        let targets = rng.sample_distinct(&live, self.params.links_per_join);
+        for t in targets {
+            net.graph_mut().add_edge(slot, t);
+        }
+        slot
+    }
+
+    /// Churn: the peer at `slot` departs. Its former neighbors patch the
+    /// hole by linking up in a random cycle (any route that used the
+    /// departed node reroutes along the cycle), which keeps the overlay
+    /// connected.
+    pub fn leave(&self, net: &mut OverlayNet, slot: Slot, rng: &mut SimRng) {
+        let mut orphans = net.graph_mut().remove_slot(slot);
+        net.placement_mut().vacate(slot);
+        rng.shuffle(&mut orphans);
+        for w in orphans.windows(2) {
+            if !net.graph().has_edge(w[0], w[1]) {
+                net.graph_mut().add_edge(w[0], w[1]);
+            }
+        }
+    }
+
+    /// Sudden failure: the peer at `slot` vanishes *without* the graceful
+    /// patch-up of [`Gnutella::leave`] — its neighbors simply lose a link,
+    /// and the overlay may even partition until survivors re-join around
+    /// the hole. Returns the orphaned former neighbors.
+    pub fn crash(&self, net: &mut OverlayNet, slot: Slot) -> Vec<Slot> {
+        let orphans = net.graph_mut().remove_slot(slot);
+        net.placement_mut().vacate(slot);
+        orphans
+    }
+}
+
+impl Lookup for Gnutella {
+    fn lookup(&self, net: &OverlayNet, src: Slot, dst: Slot) -> Option<RouteOutcome> {
+        net.min_latency_within_hops(src, dst, self.params.flood_ttl)
+            .map(|(latency_ms, hops)| RouteOutcome { latency_ms, hops })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prop_netsim::{generate, TransitStubParams};
+
+    fn oracle(n: usize, seed: u64) -> Arc<LatencyOracle> {
+        let mut rng = SimRng::seed_from(seed);
+        let phys = generate(&TransitStubParams::tiny(), &mut rng);
+        Arc::new(LatencyOracle::select_and_build(&phys, n, &mut rng))
+    }
+
+    fn build(n: usize, seed: u64) -> (Gnutella, OverlayNet) {
+        let mut rng = SimRng::seed_from(seed);
+        Gnutella::build(GnutellaParams::default(), oracle(n, seed), &mut rng)
+    }
+
+    #[test]
+    fn overlay_is_connected_with_min_degree_k() {
+        let (_, net) = build(30, 1);
+        assert!(net.graph().is_connected());
+        assert_eq!(net.graph().min_degree(), Some(4));
+        assert_eq!(net.graph().num_live(), 30);
+    }
+
+    #[test]
+    fn preferential_attachment_skews_degrees() {
+        let mut rng = SimRng::seed_from(2);
+        let o = oracle(40, 2);
+        let (_, pref) =
+            Gnutella::build(GnutellaParams { preferential: true, ..Default::default() }, Arc::clone(&o), &mut rng);
+        let seq = pref.graph().degree_sequence();
+        // Max degree should noticeably exceed the per-join link count.
+        assert!(*seq.last().unwrap() > 6, "degree sequence {seq:?}");
+    }
+
+    #[test]
+    fn uniform_attachment_also_connected() {
+        let mut rng = SimRng::seed_from(3);
+        let (_, net) = Gnutella::build(
+            GnutellaParams { preferential: false, ..Default::default() },
+            oracle(25, 3),
+            &mut rng,
+        );
+        assert!(net.graph().is_connected());
+        assert_eq!(net.graph().min_degree(), Some(4));
+    }
+
+    #[test]
+    fn lookup_reaches_most_pairs_within_ttl() {
+        let (gn, net) = build(30, 4);
+        let mut delivered = 0;
+        for a in 0..30u32 {
+            for b in 0..30u32 {
+                if a != b && gn.lookup(&net, Slot(a), Slot(b)).is_some() {
+                    delivered += 1;
+                }
+            }
+        }
+        // TTL 7 over a 30-node, min-degree-4 overlay: everything reachable.
+        assert_eq!(delivered, 30 * 29);
+    }
+
+    #[test]
+    fn lookup_latency_at_least_direct_distance_lower_bound() {
+        // Overlay routes can't beat the physical shortest path.
+        let (gn, net) = build(20, 5);
+        for a in 0..20u32 {
+            for b in 0..20u32 {
+                if let Some(out) = gn.lookup(&net, Slot(a), Slot(b)) {
+                    assert!(out.latency_ms >= net.d(Slot(a), Slot(b)) as u64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn join_then_leave_preserves_connectivity() {
+        let mut rng = SimRng::seed_from(6);
+        let o = oracle(30, 6);
+        // Build over only the first 25 peers; leave 5 for later joins.
+        let sub: Vec<_> = (0..25).collect();
+        let _ = sub;
+        let (gn, mut net) = Gnutella::build(GnutellaParams::default(), o, &mut rng);
+        // Peers 0..30 all placed; remove a few then rejoin them.
+        for victim in [3u32, 7, 11] {
+            let peer = net.peer(Slot(victim));
+            gn.leave(&mut net, Slot(victim), &mut rng);
+            assert!(net.graph().is_connected(), "disconnected after leave");
+            let s = gn.join(&mut net, peer, &mut rng);
+            assert!(net.graph().is_alive(s));
+            assert!(net.graph().is_connected(), "disconnected after join");
+        }
+        assert!(net.placement().is_consistent());
+    }
+
+    #[test]
+    fn leave_of_high_degree_hub_keeps_graph_connected() {
+        let mut rng = SimRng::seed_from(7);
+        let (gn, mut net) = Gnutella::build(GnutellaParams::default(), oracle(40, 7), &mut rng);
+        // Remove the highest-degree slot.
+        let hub = net
+            .graph()
+            .live_slots()
+            .max_by_key(|&s| net.graph().degree(s))
+            .unwrap();
+        gn.leave(&mut net, hub, &mut rng);
+        assert!(net.graph().is_connected());
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let (_, n1) = build(20, 8);
+        let (_, n2) = build(20, 8);
+        for s in n1.graph().live_slots() {
+            assert_eq!(n1.graph().neighbors(s), n2.graph().neighbors(s));
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Graph isomorphism utilities for Theorem 2.
+//!
+//! Our production PROP-G is a placement transposition, which makes
+//! Theorem 2 (the exchanged overlay is isomorphic to the original) hold *by
+//! construction*. To show that this is the same operation the paper
+//! describes — two nodes literally exchanging neighbor lists in a
+//! peer-indexed adjacency — this module provides
+//!
+//! * [`peer_adjacency`] — the overlay as seen in *peer* space (who is
+//!   actually connected to whom), independent of slot bookkeeping;
+//! * [`reference_propg_exchange`] — the paper's Figure-1 operation applied
+//!   directly to a peer-space adjacency (swap the two peers' neighbor
+//!   sets, rewriting self-references);
+//! * [`is_isomorphic_via`] — verify a candidate bijection between two
+//!   graphs edge-by-edge (the constructive proof object of Theorem 2).
+//!
+//! The cross-validation test (`tests/reference_equivalence.rs` at the
+//! workspace root) checks that the production placement swap and the
+//! reference neighbor-list exchange produce the *same* peer-space overlay.
+
+use crate::logical::Slot;
+use crate::net::OverlayNet;
+use prop_netsim::oracle::MemberIdx;
+use std::collections::BTreeSet;
+
+/// The overlay's edge set in peer space: `{ (peer_a, peer_b) | a < b }`.
+pub fn peer_adjacency(net: &OverlayNet) -> BTreeSet<(MemberIdx, MemberIdx)> {
+    net.graph()
+        .edges()
+        .map(|(a, b)| {
+            let (pa, pb) = (net.peer(a), net.peer(b));
+            (pa.min(pb), pa.max(pb))
+        })
+        .collect()
+}
+
+/// The paper's Figure 1 operation, applied literally: peers `u` and `v`
+/// exchange their entire neighbor sets in a peer-space edge set. A neighbor
+/// reference to the counterpart maps to the other peer (so a `u–v` edge, if
+/// present, survives as itself).
+pub fn reference_propg_exchange(
+    edges: &BTreeSet<(MemberIdx, MemberIdx)>,
+    u: MemberIdx,
+    v: MemberIdx,
+) -> BTreeSet<(MemberIdx, MemberIdx)> {
+    assert_ne!(u, v);
+    let swap = |p: MemberIdx| {
+        if p == u {
+            v
+        } else if p == v {
+            u
+        } else {
+            p
+        }
+    };
+    edges
+        .iter()
+        .map(|&(a, b)| {
+            let (x, y) = (swap(a), swap(b));
+            (x.min(y), x.max(y))
+        })
+        .collect()
+}
+
+/// Does `phi` (a permutation of `0..n`, slot-indexed) map graph `a` onto
+/// graph `b` edge-for-edge? Both graphs are given as sorted edge sets over
+/// `Slot`-compatible indices.
+pub fn is_isomorphic_via(
+    a: &BTreeSet<(u32, u32)>,
+    b: &BTreeSet<(u32, u32)>,
+    phi: &[u32],
+) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    // phi must be a permutation.
+    let mut seen = vec![false; phi.len()];
+    for &p in phi {
+        let Some(slot) = seen.get_mut(p as usize) else { return false };
+        if *slot {
+            return false;
+        }
+        *slot = true;
+    }
+    a.iter().all(|&(x, y)| {
+        let (px, py) = (phi[x as usize], phi[y as usize]);
+        b.contains(&(px.min(py), px.max(py)))
+    })
+}
+
+/// The Theorem-2 witness for a PROP-G exchange at slots `(su, sv)`: the
+/// transposition bijection on slots.
+pub fn transposition(n: usize, su: Slot, sv: Slot) -> Vec<u32> {
+    let mut phi: Vec<u32> = (0..n as u32).collect();
+    phi.swap(su.index(), sv.index());
+    phi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::LogicalGraph;
+    use crate::placement::Placement;
+    use prop_engine::SimRng;
+    use prop_netsim::{generate, LatencyOracle, TransitStubParams};
+    use std::sync::Arc;
+
+    fn ring_net(n: usize, seed: u64) -> OverlayNet {
+        let mut rng = SimRng::seed_from(seed);
+        let phys = generate(&TransitStubParams::tiny(), &mut rng);
+        let oracle = Arc::new(LatencyOracle::select_and_build(&phys, n, &mut rng));
+        let mut g = LogicalGraph::new(n);
+        for i in 0..n as u32 {
+            g.add_edge(Slot(i), Slot((i + 1) % n as u32));
+        }
+        OverlayNet::new(g, Placement::identity(n), oracle)
+    }
+
+    #[test]
+    fn peer_adjacency_tracks_placement() {
+        let mut net = ring_net(6, 1);
+        let before = peer_adjacency(&net);
+        assert!(before.contains(&(0, 1)));
+        net.swap_peers(Slot(0), Slot(3));
+        let after = peer_adjacency(&net);
+        // Peer 3 now sits at slot 0, so it is connected to peers at slots 1
+        // and 5 (peers 1 and 5).
+        assert!(after.contains(&(1, 3)));
+        assert!(!after.contains(&(0, 1)));
+    }
+
+    #[test]
+    fn reference_exchange_swaps_neighborhoods() {
+        // Square 0-1-2-3-0. Exchange peers 0 and 2 (non-adjacent).
+        let edges: BTreeSet<_> = [(0, 1), (1, 2), (2, 3), (0, 3)].into_iter().collect();
+        let after = reference_propg_exchange(&edges, 0, 2);
+        // 0 takes 2's neighbors {1,3}; 2 takes 0's neighbors {1,3} — a
+        // square is symmetric, so the edge set is unchanged.
+        assert_eq!(after, edges);
+
+        // Path 0-1-2-3: exchange 0 and 3.
+        let path: BTreeSet<_> = [(0, 1), (1, 2), (2, 3)].into_iter().collect();
+        let after = reference_propg_exchange(&path, 0, 3);
+        let expect: BTreeSet<_> = [(1, 3), (1, 2), (0, 2)].into_iter().collect();
+        assert_eq!(after, expect);
+    }
+
+    #[test]
+    fn reference_exchange_preserves_uv_edge() {
+        let edges: BTreeSet<_> = [(0, 1), (1, 2), (0, 2)].into_iter().collect();
+        let after = reference_propg_exchange(&edges, 0, 1);
+        assert!(after.contains(&(0, 1)), "the u–v edge must survive");
+        assert_eq!(after.len(), edges.len());
+    }
+
+    #[test]
+    fn reference_exchange_is_involution() {
+        let edges: BTreeSet<_> =
+            [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3)].into_iter().collect();
+        let once = reference_propg_exchange(&edges, 1, 4);
+        let twice = reference_propg_exchange(&once, 1, 4);
+        assert_eq!(twice, edges);
+    }
+
+    #[test]
+    fn isomorphism_checker_accepts_valid_witness() {
+        let a: BTreeSet<_> = [(0, 1), (1, 2), (2, 3)].into_iter().collect();
+        // Relabel via the transposition (0 3).
+        let phi = transposition(4, Slot(0), Slot(3));
+        let b: BTreeSet<_> = [(3, 1), (1, 2), (2, 0)]
+            .into_iter()
+            .map(|(x, y): (u32, u32)| (x.min(y), x.max(y)))
+            .collect();
+        assert!(is_isomorphic_via(&a, &b, &phi));
+    }
+
+    #[test]
+    fn isomorphism_checker_rejects_bad_witness() {
+        let a: BTreeSet<_> = [(0, 1), (1, 2)].into_iter().collect();
+        let b: BTreeSet<_> = [(0, 1), (0, 2)].into_iter().collect();
+        let identity: Vec<u32> = (0..3).collect();
+        assert!(!is_isomorphic_via(&a, &b, &identity));
+        // Non-permutation rejected.
+        assert!(!is_isomorphic_via(&a, &a, &[0, 0, 1]));
+        // Size mismatch rejected.
+        let c: BTreeSet<_> = [(0, 1)].into_iter().collect();
+        assert!(!is_isomorphic_via(&a, &c, &identity));
+    }
+
+    #[test]
+    fn production_swap_matches_reference_on_a_ring() {
+        let mut net = ring_net(8, 2);
+        let before = peer_adjacency(&net);
+        let (su, sv) = (Slot(2), Slot(6));
+        let (pu, pv) = (net.peer(su), net.peer(sv));
+        net.swap_peers(su, sv);
+        let production = peer_adjacency(&net);
+        let reference = reference_propg_exchange(&before, pu, pv);
+        assert_eq!(production, reference);
+    }
+}

@@ -1,0 +1,314 @@
+//! The overlay's logical wiring.
+//!
+//! An undirected multigraph-free adjacency over [`Slot`]s, supporting the
+//! operations the protocols need:
+//!
+//! * PROP-O and LTM **rewire** edges (degree-preserving exchange / cut-add);
+//! * churn **removes** and **adds** slots;
+//! * connectivity checks back the Theorem 1 property tests.
+//!
+//! Neighbor lists are kept sorted so `has_edge` is a binary search and
+//! iteration order is deterministic.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A logical position in the overlay. Slots are dense indices; a slot is
+/// *alive* while some peer occupies it.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Slot(pub u32);
+
+impl Slot {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Slot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Undirected adjacency over slots.
+#[derive(Clone, Debug, Default)]
+pub struct LogicalGraph {
+    adj: Vec<Vec<Slot>>,
+    alive: Vec<bool>,
+    num_edges: usize,
+}
+
+impl LogicalGraph {
+    /// Graph with `n` live, isolated slots.
+    pub fn new(n: usize) -> Self {
+        LogicalGraph { adj: vec![Vec::new(); n], alive: vec![true; n], num_edges: 0 }
+    }
+
+    /// Total slots ever allocated (live or not).
+    #[inline]
+    pub fn num_slots(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Currently live slots.
+    pub fn num_live(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    #[inline]
+    pub fn is_alive(&self, s: Slot) -> bool {
+        self.alive[s.index()]
+    }
+
+    /// Allocate a fresh live slot.
+    pub fn add_slot(&mut self) -> Slot {
+        let s = Slot(self.adj.len() as u32);
+        self.adj.push(Vec::new());
+        self.alive.push(true);
+        s
+    }
+
+    /// Neighbors of `s`, sorted ascending.
+    #[inline]
+    pub fn neighbors(&self, s: Slot) -> &[Slot] {
+        &self.adj[s.index()]
+    }
+
+    #[inline]
+    pub fn degree(&self, s: Slot) -> usize {
+        self.adj[s.index()].len()
+    }
+
+    /// Minimum degree over live slots — the paper's δ(G), the default PROP-O
+    /// exchange size `m`. `None` when there are no live slots.
+    pub fn min_degree(&self) -> Option<usize> {
+        self.live_slots().map(|s| self.degree(s)).min()
+    }
+
+    /// Mean degree over live slots — the paper's `c` in the overhead model.
+    pub fn mean_degree(&self) -> f64 {
+        let live = self.num_live();
+        if live == 0 {
+            return f64::NAN;
+        }
+        2.0 * self.num_edges as f64 / live as f64
+    }
+
+    #[inline]
+    pub fn has_edge(&self, a: Slot, b: Slot) -> bool {
+        self.adj[a.index()].binary_search(&b).is_ok()
+    }
+
+    /// Add edge `a–b`. Panics on self-loops, dead endpoints, or duplicates —
+    /// all indicate protocol bugs, and the property tests rely on this.
+    pub fn add_edge(&mut self, a: Slot, b: Slot) {
+        assert_ne!(a, b, "self-loop at {a:?}");
+        assert!(self.is_alive(a) && self.is_alive(b), "edge touching dead slot");
+        assert!(!self.has_edge(a, b), "duplicate edge {a:?}–{b:?}");
+        let pos_a = self.adj[a.index()].binary_search(&b).unwrap_err();
+        self.adj[a.index()].insert(pos_a, b);
+        let pos_b = self.adj[b.index()].binary_search(&a).unwrap_err();
+        self.adj[b.index()].insert(pos_b, a);
+        self.num_edges += 1;
+    }
+
+    /// Remove edge `a–b`. Panics if absent.
+    pub fn remove_edge(&mut self, a: Slot, b: Slot) {
+        let pos_a = self
+            .adj[a.index()]
+            .binary_search(&b)
+            .unwrap_or_else(|_| panic!("removing missing edge {a:?}–{b:?}"));
+        self.adj[a.index()].remove(pos_a);
+        let pos_b = self.adj[b.index()].binary_search(&a).expect("asymmetric adjacency");
+        self.adj[b.index()].remove(pos_b);
+        self.num_edges -= 1;
+    }
+
+    /// Kill slot `s`: drop all its edges and mark it dead. Returns its former
+    /// neighbors (the churn handler re-wires them).
+    pub fn remove_slot(&mut self, s: Slot) -> Vec<Slot> {
+        assert!(self.is_alive(s));
+        let neighbors = std::mem::take(&mut self.adj[s.index()]);
+        for &n in &neighbors {
+            let pos = self.adj[n.index()].binary_search(&s).expect("asymmetric adjacency");
+            self.adj[n.index()].remove(pos);
+        }
+        self.num_edges -= neighbors.len();
+        self.alive[s.index()] = false;
+        neighbors
+    }
+
+    /// Iterator over live slots.
+    pub fn live_slots(&self) -> impl Iterator<Item = Slot> + '_ {
+        self.alive
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| a.then_some(Slot(i as u32)))
+    }
+
+    /// All undirected edges `(a, b)` with `a < b`.
+    pub fn edges(&self) -> impl Iterator<Item = (Slot, Slot)> + '_ {
+        self.live_slots().flat_map(move |a| {
+            self.neighbors(a).iter().copied().filter(move |&b| a < b).map(move |b| (a, b))
+        })
+    }
+
+    /// Is the live subgraph connected? (Vacuously true when < 2 live slots.)
+    pub fn is_connected(&self) -> bool {
+        let mut live = self.live_slots();
+        let Some(start) = live.next() else { return true };
+        let total = self.num_live();
+        let mut seen = vec![false; self.num_slots()];
+        seen[start.index()] = true;
+        let mut stack = vec![start];
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for &v in self.neighbors(u) {
+                if !seen[v.index()] {
+                    seen[v.index()] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        count == total
+    }
+
+    /// Sorted degree sequence of live slots — the invariant PROP-O preserves.
+    pub fn degree_sequence(&self) -> Vec<usize> {
+        let mut d: Vec<usize> = self.live_slots().map(|s| self.degree(s)).collect();
+        d.sort_unstable();
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: u32) -> LogicalGraph {
+        let mut g = LogicalGraph::new(n as usize);
+        for i in 1..n {
+            g.add_edge(Slot(i - 1), Slot(i));
+        }
+        g
+    }
+
+    #[test]
+    fn edges_are_symmetric_and_sorted() {
+        let mut g = LogicalGraph::new(4);
+        g.add_edge(Slot(2), Slot(0));
+        g.add_edge(Slot(2), Slot(3));
+        g.add_edge(Slot(2), Slot(1));
+        assert_eq!(g.neighbors(Slot(2)), &[Slot(0), Slot(1), Slot(3)]);
+        assert!(g.has_edge(Slot(0), Slot(2)));
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn remove_edge_updates_both_sides() {
+        let mut g = path(3);
+        g.remove_edge(Slot(1), Slot(0));
+        assert!(!g.has_edge(Slot(0), Slot(1)));
+        assert_eq!(g.degree(Slot(0)), 0);
+        assert_eq!(g.degree(Slot(1)), 1);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn connectivity() {
+        let g = path(5);
+        assert!(g.is_connected());
+        let mut g2 = g.clone();
+        g2.remove_edge(Slot(2), Slot(3));
+        assert!(!g2.is_connected());
+    }
+
+    #[test]
+    fn remove_slot_detaches_and_reports_neighbors() {
+        let mut g = path(4);
+        let ns = g.remove_slot(Slot(1));
+        assert_eq!(ns, vec![Slot(0), Slot(2)]);
+        assert!(!g.is_alive(Slot(1)));
+        assert_eq!(g.num_live(), 3);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(Slot(0)), 0);
+    }
+
+    #[test]
+    fn connectivity_ignores_dead_slots() {
+        let mut g = path(4);
+        g.remove_slot(Slot(3)); // path 0-1-2 remains, dead isolated 3
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn min_and_mean_degree() {
+        let g = path(4);
+        assert_eq!(g.min_degree(), Some(1));
+        assert!((g.mean_degree() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_sequence_sorted() {
+        let mut g = path(4);
+        g.add_edge(Slot(0), Slot(2));
+        assert_eq!(g.degree_sequence(), vec![1, 2, 2, 3]);
+    }
+
+    #[test]
+    fn add_slot_grows_graph() {
+        let mut g = path(2);
+        let s = g.add_slot();
+        assert_eq!(s, Slot(2));
+        assert!(!g.is_connected());
+        g.add_edge(s, Slot(0));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn edges_iterator_lists_each_edge_once() {
+        let mut g = path(3);
+        g.add_edge(Slot(0), Slot(2));
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(es.len(), g.num_edges());
+        assert_eq!(es, vec![(Slot(0), Slot(1)), (Slot(0), Slot(2)), (Slot(1), Slot(2))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn duplicate_edge_panics() {
+        let mut g = LogicalGraph::new(2);
+        g.add_edge(Slot(0), Slot(1));
+        g.add_edge(Slot(1), Slot(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_panics() {
+        let mut g = LogicalGraph::new(1);
+        g.add_edge(Slot(0), Slot(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "missing edge")]
+    fn removing_missing_edge_panics() {
+        let mut g = LogicalGraph::new(2);
+        g.remove_edge(Slot(0), Slot(1));
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        let g = LogicalGraph::new(0);
+        assert!(g.is_connected());
+        assert_eq!(g.min_degree(), None);
+        assert!(g.mean_degree().is_nan());
+    }
+}

@@ -1,0 +1,162 @@
+//! Property tests for the overlay substrate: logical-graph bookkeeping,
+//! placement bijectivity, probe walks, and CAN's zone geometry, over
+//! randomized inputs.
+
+use prop_engine::SimRng;
+use prop_netsim::graph::{LinkClass, NodeClass, PhysGraphBuilder};
+use prop_netsim::LatencyOracle;
+use prop_overlay::can::Can;
+use prop_overlay::walk::random_walk;
+use prop_overlay::{LogicalGraph, Lookup, OverlayNet, Placement, Slot};
+use proptest::prelude::{prop_oneof, Strategy};
+use proptest::test_runner::Config as ProptestConfig;
+use proptest::{prop_assert, prop_assert_eq, proptest};
+use std::sync::Arc;
+
+/// A trivial complete-graph oracle (distance = |i − j| · 10 ms) for tests
+/// that only need *some* metric.
+fn line_oracle(n: usize) -> Arc<LatencyOracle> {
+    let mut b = PhysGraphBuilder::new();
+    let ids: Vec<_> = (0..n).map(|_| b.add_node(NodeClass::Transit { domain: 0 })).collect();
+    for w in ids.windows(2) {
+        b.add_link(w[0], w[1], 10, LinkClass::TransitTransit);
+    }
+    let g = b.build();
+    Arc::new(LatencyOracle::build(&g, ids))
+}
+
+#[derive(Clone, Debug)]
+enum GraphOp {
+    AddEdge(u32, u32),
+    RemoveEdgeAt(usize),
+    KillSlot(u32),
+}
+
+fn graph_op(n: u32) -> impl Strategy<Value = GraphOp> {
+    prop_oneof![
+        (0..n, 0..n).prop_map(|(a, b)| GraphOp::AddEdge(a, b)),
+        (0usize..64).prop_map(GraphOp::RemoveEdgeAt),
+        (0..n).prop_map(GraphOp::KillSlot),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// LogicalGraph bookkeeping (edge counts, degrees, symmetry) survives
+    /// arbitrary add/remove/kill sequences.
+    #[test]
+    fn logical_graph_bookkeeping(n in 3u32..24, ops in proptest::collection::vec(graph_op(24), 1..60)) {
+        let mut g = LogicalGraph::new(n as usize);
+        let mut edges: Vec<(Slot, Slot)> = Vec::new();
+        let mut alive: Vec<bool> = vec![true; n as usize];
+        for op in ops {
+            match op {
+                GraphOp::AddEdge(a, b) => {
+                    let (a, b) = (a % n, b % n);
+                    let (sa, sb) = (Slot(a), Slot(b));
+                    if a != b && alive[a as usize] && alive[b as usize] && !g.has_edge(sa, sb) {
+                        g.add_edge(sa, sb);
+                        edges.push((sa.min(sb), sa.max(sb)));
+                    }
+                }
+                GraphOp::RemoveEdgeAt(i) => {
+                    if !edges.is_empty() {
+                        let (a, b) = edges.swap_remove(i % edges.len());
+                        g.remove_edge(a, b);
+                    }
+                }
+                GraphOp::KillSlot(s) => {
+                    let s = s % n;
+                    if alive[s as usize] {
+                        g.remove_slot(Slot(s));
+                        alive[s as usize] = false;
+                        edges.retain(|&(a, b)| a != Slot(s) && b != Slot(s));
+                    }
+                }
+            }
+            prop_assert_eq!(g.num_edges(), edges.len());
+            let degree_sum: usize = g.live_slots().map(|s| g.degree(s)).sum();
+            prop_assert_eq!(degree_sum, 2 * edges.len(), "handshake lemma violated");
+            for &(a, b) in &edges {
+                prop_assert!(g.has_edge(a, b) && g.has_edge(b, a));
+            }
+        }
+    }
+
+    /// Placement stays a bijection under arbitrary swap sequences, and any
+    /// even number of repeated swaps of the same pair is the identity.
+    #[test]
+    fn placement_is_always_a_bijection(n in 2usize..30, swaps in proptest::collection::vec((0u32..30, 0u32..30), 0..60)) {
+        let mut p = Placement::identity(n);
+        for (a, b) in swaps {
+            let (a, b) = (a as usize % n, b as usize % n);
+            if a != b {
+                p.swap_slots(Slot(a as u32), Slot(b as u32));
+            }
+            prop_assert!(p.is_consistent());
+            // Round-trip: every peer found through its slot.
+            for peer in 0..n {
+                let slot = p.slot_of(peer).unwrap();
+                prop_assert_eq!(p.peer(slot), peer);
+            }
+        }
+    }
+
+    /// Random walks never repeat a node, always follow edges, and respect
+    /// the TTL, on arbitrary connected graphs.
+    #[test]
+    fn walks_are_simple_paths(n in 4u32..30, extra in 0usize..40, nhops in 1u32..6, seed in 0u64..10_000) {
+        let mut rng = SimRng::seed_from(seed);
+        let mut g = LogicalGraph::new(n as usize);
+        for i in 1..n {
+            let parent = rng.range(0..i);
+            g.add_edge(Slot(i), Slot(parent));
+        }
+        for _ in 0..extra {
+            let a = Slot(rng.range(0..n));
+            let b = Slot(rng.range(0..n));
+            if a != b && !g.has_edge(a, b) {
+                g.add_edge(a, b);
+            }
+        }
+        let origin = Slot(rng.range(0..n));
+        let nbrs = g.neighbors(origin).to_vec();
+        let first = *rng.pick(&nbrs).unwrap();
+        let w = random_walk(&g, origin, first, nhops, &mut rng);
+        prop_assert!(w.path.len() as u32 <= nhops + 1);
+        prop_assert_eq!(w.path[0], origin);
+        let mut sorted = w.path.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), w.path.len(), "walk revisited a node");
+        for pair in w.path.windows(2) {
+            prop_assert!(g.has_edge(pair[0], pair[1]));
+        }
+    }
+
+    /// CAN zones always tile the unit torus exactly, and every greedy route
+    /// terminates, for arbitrary join-point sets.
+    #[test]
+    fn can_always_tiles_and_routes(
+        points in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 2..40),
+    ) {
+        let n = points.len();
+        let pts: Vec<[f64; 2]> = points.iter().map(|&(x, y)| [x, y]).collect();
+        let (can, net) = Can::build_at(pts, line_oracle(n));
+        let area: f64 = (0..n as u32)
+            .map(|s| {
+                let z = can.zone(Slot(s));
+                z.extent(0) * z.extent(1)
+            })
+            .sum();
+        prop_assert!((area - 1.0).abs() < 1e-9, "area {area}");
+        prop_assert!(net.graph().is_connected());
+        for a in 0..n as u32 {
+            for b in 0..n as u32 {
+                let out = can.lookup(&net, Slot(a), Slot(b));
+                prop_assert!(out.is_some());
+            }
+        }
+    }
+}

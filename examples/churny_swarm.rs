@@ -1,0 +1,85 @@
+//! Surviving churn: PROP's Markov timers under a join/leave storm.
+//!
+//! A third of the way through the run, peers start leaving and (re)joining
+//! at several events per minute. Watch the probe rate: it has decayed after
+//! warm-up, spikes when churn resets the affected timers, then decays
+//! again once the storm passes — while the overlay stays connected and the
+//! stretch stays near its optimized level.
+//!
+//! ```text
+//! cargo run --release --example churny_swarm
+//! ```
+
+use prop::prelude::*;
+use prop::workloads::churn::{ChurnOp, ChurnTrace};
+use std::sync::Arc;
+
+const N: usize = 200;
+
+fn main() {
+    let mut rng = SimRng::seed_from(99);
+    let phys = generate(&TransitStubParams::ts_large(), &mut rng);
+    let oracle = Arc::new(LatencyOracle::select_and_build(&phys, N, &mut rng));
+    let (gnutella, net) = Gnutella::build(GnutellaParams::default(), oracle, &mut rng);
+
+    let mut sim = ProtocolSim::new(net, PropConfig::prop_o(), &mut rng);
+    let mut churn_rng = SimRng::seed_from(100);
+
+    // Churn storm: minutes 30–60, ~4 leaves + 4 joins per minute.
+    let storm_start = SimTime::ZERO + Duration::from_minutes(30);
+    let trace = ChurnTrace::poisson(storm_start, Duration::from_minutes(30), 4.0, 4.0, &mut churn_rng);
+    println!("churn storm: {} events between minute 30 and 60\n", trace.len());
+    println!("{:>6} {:>10} {:>14} {:>8} {:>10}", "min", "stretch", "trials/min", "peers", "connected");
+
+    let mut absent: Vec<usize> = Vec::new();
+    let mut next = 0usize;
+    let mut last_trials = 0u64;
+    for step in 1..=18 {
+        let deadline = SimTime::ZERO + Duration::from_minutes(step * 5);
+        while next < trace.events.len() && trace.events[next].0 <= deadline {
+            let (t, op) = trace.events[next];
+            next += 1;
+            sim.run_until(t);
+            match op {
+                ChurnOp::Leave => {
+                    let live: Vec<Slot> = sim.net().graph().live_slots().collect();
+                    if live.len() <= 20 {
+                        continue;
+                    }
+                    let victim = *churn_rng.pick(&live).unwrap();
+                    let peer = sim.net().peer(victim);
+                    let affected: Vec<Slot> = sim.net().graph().neighbors(victim).to_vec();
+                    gnutella.leave(sim.net_mut(), victim, &mut churn_rng);
+                    sim.handle_leave(victim, &affected);
+                    absent.push(peer);
+                }
+                ChurnOp::Join => {
+                    if let Some(peer) = absent.pop() {
+                        let slot = gnutella.join(sim.net_mut(), peer, &mut churn_rng);
+                        sim.handle_join(slot);
+                    }
+                }
+            }
+        }
+        sim.run_until(deadline);
+        let trials = sim.overhead().trials;
+        let rate = (trials - last_trials) as f64 / 5.0;
+        last_trials = trials;
+        println!(
+            "{:>6} {:>10.2} {:>14.1} {:>8} {:>10}",
+            step * 5,
+            sim.net().stretch(),
+            rate,
+            sim.net().graph().num_live(),
+            sim.net().graph().is_connected()
+        );
+        assert!(sim.net().graph().is_connected(), "churn must never partition the overlay");
+    }
+
+    println!(
+        "\ntotal: {} trials, {} exchanges, {} peers absent at end",
+        sim.overhead().trials,
+        sim.overhead().exchanges,
+        absent.len()
+    );
+}

@@ -1,0 +1,55 @@
+//! Reproducibility: one seed pins the entire pipeline — topology, overlay,
+//! protocol run, workload, and measured numbers — bit for bit.
+
+use prop::prelude::*;
+use std::sync::Arc;
+
+fn full_run(seed: u64) -> (f64, u64, u64, Vec<u32>) {
+    let mut rng = SimRng::seed_from(seed);
+    let phys = generate(&TransitStubParams::ts_small(), &mut rng);
+    let oracle = Arc::new(LatencyOracle::select_and_build(&phys, 80, &mut rng));
+    let (gn, net) = Gnutella::build(GnutellaParams::default(), oracle, &mut rng);
+    let mut sim = ProtocolSim::new(net, PropConfig::prop_o(), &mut rng);
+    sim.run_for(Duration::from_minutes(45));
+    let o = sim.overhead();
+    let net = sim.into_net();
+    let live: Vec<Slot> = net.graph().live_slots().collect();
+    let pairs = LookupGen::new(&rng).uniform_pairs(&live, 200);
+    let lat = avg_lookup_latency(&net, &gn, &pairs);
+    let degrees: Vec<u32> =
+        net.graph().live_slots().map(|s| net.graph().degree(s) as u32).collect();
+    (lat.mean_ms, o.trials, o.exchanges, degrees)
+}
+
+#[test]
+fn identical_seeds_identical_runs() {
+    let a = full_run(12345);
+    let b = full_run(12345);
+    assert_eq!(a.0.to_bits(), b.0.to_bits(), "mean latency must match bit-for-bit");
+    assert_eq!(a.1, b.1, "trial counts must match");
+    assert_eq!(a.2, b.2, "exchange counts must match");
+    assert_eq!(a.3, b.3, "final degrees must match");
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = full_run(1);
+    let b = full_run(2);
+    // Overwhelmingly likely to differ in at least the trial count or mean.
+    assert!(
+        a.0.to_bits() != b.0.to_bits() || a.1 != b.1 || a.3 != b.3,
+        "two seeds produced identical runs"
+    );
+}
+
+#[test]
+fn experiment_kernels_are_deterministic() {
+    use prop::experiments::{fig5, Scale};
+    let a = fig5::panel_c(Scale::Quick, 777);
+    let b = fig5::panel_c(Scale::Quick, 777);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.series.label, y.series.label);
+        assert_eq!(x.series.points, y.series.points, "series diverged for {}", x.series.label);
+    }
+}
