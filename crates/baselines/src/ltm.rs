@@ -131,8 +131,8 @@ impl LtmSim {
         let direct: Vec<Slot> = g.neighbors(u).to_vec();
         // Detector flood cost: every node within the TTL region forwards
         // once; with TTL 2 that is |N(u)| + Σ_{x∈N(u)} |N(x)| messages.
-        let flood_cost: u64 = direct.len() as u64
-            + direct.iter().map(|&x| g.degree(x) as u64).sum::<u64>();
+        let flood_cost: u64 =
+            direct.len() as u64 + direct.iter().map(|&x| g.degree(x) as u64).sum::<u64>();
         self.overhead.detector_msgs += flood_cost;
 
         // ---- 1. cut slow redundant links ----
@@ -212,10 +212,7 @@ mod tests {
         let before = sim.net().mean_link_latency();
         sim.run_for(Duration::from_minutes(30));
         let after = sim.net().mean_link_latency();
-        assert!(
-            after < before,
-            "LTM should reduce mean link latency: {before:.1} → {after:.1}"
-        );
+        assert!(after < before, "LTM should reduce mean link latency: {before:.1} → {after:.1}");
         assert!(sim.overhead().cuts + sim.overhead().adds > 0);
     }
 

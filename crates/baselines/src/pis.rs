@@ -103,16 +103,14 @@ mod tests {
         let mut pairs: Vec<(u32, f64)> = Vec::new();
         for a in 0..60 {
             for b in (a + 1)..60 {
-                let dp = ((pts[a][0] - pts[b][0]).powi(2) + (pts[a][1] - pts[b][1]).powi(2))
-                    .sqrt();
+                let dp = ((pts[a][0] - pts[b][0]).powi(2) + (pts[a][1] - pts[b][1]).powi(2)).sqrt();
                 pairs.push((o.d(a, b), dp));
             }
         }
         pairs.sort_by_key(|&(d, _)| d);
         let k = pairs.len() / 20;
         let close: f64 = pairs[..k].iter().map(|&(_, dp)| dp).sum::<f64>() / k as f64;
-        let far: f64 =
-            pairs[pairs.len() - k..].iter().map(|&(_, dp)| dp).sum::<f64>() / k as f64;
+        let far: f64 = pairs[pairs.len() - k..].iter().map(|&(_, dp)| dp).sum::<f64>() / k as f64;
         assert!(close < far, "close pairs {close:.3} should beat far pairs {far:.3}");
     }
 

@@ -114,10 +114,7 @@ impl SelfishSim {
             if g.degree(x) <= self.cfg.min_degree {
                 continue;
             }
-            let has_alt = g
-                .neighbors(x)
-                .iter()
-                .any(|&y| y != u && g.has_edge(y, u));
+            let has_alt = g.neighbors(x).iter().any(|&y| y != u && g.has_edge(y, u));
             if has_alt && drop.is_none_or(|(b, _)| dux > b) {
                 drop = Some((dux, x));
             }

@@ -27,9 +27,7 @@ fn bench_ablation(c: &mut Criterion) {
     g.bench_function("a1_overhead_quick", |b| {
         b.iter(|| black_box(ablation::overhead(Scale::Quick, 1)))
     });
-    g.bench_function("a2_churn_quick", |b| {
-        b.iter(|| black_box(ablation::churn(Scale::Quick, 1)))
-    });
+    g.bench_function("a2_churn_quick", |b| b.iter(|| black_box(ablation::churn(Scale::Quick, 1))));
     g.bench_function("a4_selfish_quick", |b| {
         b.iter(|| black_box(ablation::selfish_vs_prop(Scale::Quick, 1)))
     });

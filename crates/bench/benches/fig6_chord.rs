@@ -49,7 +49,8 @@ fn bench_fig6(c: &mut Criterion) {
     // Chord routing microbench: one lookup over a 500-node ring.
     let mut rng = SimRng::seed_from(2);
     let scenario2 = Scenario::build(Topology::TsSmall, 500, 2);
-    let (chord, net) = Chord::build(ChordParams::default(), Arc::clone(&scenario2.oracle), &mut rng);
+    let (chord, net) =
+        Chord::build(ChordParams::default(), Arc::clone(&scenario2.oracle), &mut rng);
     g.bench_function("chord_lookup_n500", |b| {
         let mut i = 0u32;
         b.iter(|| {

@@ -85,8 +85,7 @@ fn bench_dhts(c: &mut Criterion) {
     let phys = generate(&TransitStubParams::ts_large(), &mut rng);
     let oracle = Arc::new(LatencyOracle::select_and_build(&phys, 1000, &mut rng));
 
-    let (chord, chord_net) =
-        Chord::build(ChordParams::default(), Arc::clone(&oracle), &mut rng);
+    let (chord, chord_net) = Chord::build(ChordParams::default(), Arc::clone(&oracle), &mut rng);
     g.bench_function("chord_lookup_n1000", |b| {
         let mut i = 0u32;
         b.iter(|| {
@@ -105,8 +104,7 @@ fn bench_dhts(c: &mut Criterion) {
         })
     });
 
-    let (kad, kad_net) =
-        Kademlia::build(KademliaParams::default(), Arc::clone(&oracle), &mut rng);
+    let (kad, kad_net) = Kademlia::build(KademliaParams::default(), Arc::clone(&oracle), &mut rng);
     g.bench_function("kademlia_lookup_n1000", |b| {
         let mut i = 0u32;
         b.iter(|| {
@@ -183,5 +181,78 @@ fn bench_exchange(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_netsim, bench_overlay, bench_dhts, bench_protocol_drivers, bench_exchange);
+fn bench_oracle_tiers(c: &mut Criterion) {
+    use prop_netsim::OracleConfig;
+
+    let mut g = c.benchmark_group("oracle_tiers");
+    g.sample_size(10).measurement_time(StdDuration::from_secs(15));
+
+    let mut rng = SimRng::seed_from(21);
+    let phys = generate(&TransitStubParams::ts_large(), &mut rng);
+    let build = |cfg: &OracleConfig| {
+        let mut rng = SimRng::seed_from(22);
+        LatencyOracle::select_and_build_with(&phys, 1000, &mut rng, cfg)
+    };
+
+    g.bench_function("dense_build_n1000", |b| b.iter(|| black_box(build(&OracleConfig::dense()))));
+
+    g.bench_function("cached_build_n1000", |b| {
+        b.iter(|| black_box(build(&OracleConfig::cached(64 << 20))))
+    });
+
+    let dense = build(&OracleConfig::dense());
+    g.bench_function("dense_query", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 131) % 1000;
+            black_box(dense.d(i, (i * 17 + 3) % 1000))
+        })
+    });
+
+    let cached = build(&OracleConfig::cached(64 << 20));
+    let all: Vec<usize> = (0..1000).collect();
+    cached.warm_rows(&all);
+    g.bench_function("cached_query_warm", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 131) % 1000;
+            black_box(cached.d(i, (i * 17 + 3) % 1000))
+        })
+    });
+
+    // 32 KiB over 16 shards holds one 4 KiB row per shard, so the striding
+    // query pattern recomputes a Dijkstra row on nearly every call: the
+    // worst case the cap is meant to bound.
+    let thrash = build(&OracleConfig::cached(32 << 10));
+    g.bench_function("cached_query_thrash", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 131) % 1000;
+            black_box(thrash.d(i, (i * 17 + 3) % 1000))
+        })
+    });
+
+    g.bench_function("warm_rows_256", |b| {
+        let sources: Vec<usize> = (0..256).collect();
+        b.iter_batched(
+            || build(&OracleConfig::cached(64 << 20)),
+            |o| {
+                o.warm_rows(&sources);
+                black_box(o.cache_stats())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_netsim,
+    bench_overlay,
+    bench_dhts,
+    bench_protocol_drivers,
+    bench_exchange,
+    bench_oracle_tiers
+);
 criterion_main!(benches);

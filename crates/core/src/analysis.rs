@@ -50,11 +50,11 @@ pub fn steady_state_probe_rate(q: f64, init_timer: Duration) -> f64 {
     assert!((0.0..=1.0).contains(&q));
     let t = init_timer.as_millis() as f64;
     let states = 6; // 2^0 .. 2^5
-    // A renewal cycle starts just after a reset: wait 2⁰·T, trial at state
-    // 0; on failure wait 2¹·T, trial at state 1; … The cycle ends at the
-    // first success or after the state-5 trial (wrap). The state-k trial is
-    // reached with probability (1-q)^k, and its wait of 2^k·T is paid iff
-    // it is reached.
+                    // A renewal cycle starts just after a reset: wait 2⁰·T, trial at state
+                    // 0; on failure wait 2¹·T, trial at state 1; … The cycle ends at the
+                    // first success or after the state-5 trial (wrap). The state-k trial is
+                    // reached with probability (1-q)^k, and its wait of 2^k·T is paid iff
+                    // it is reached.
     let mut expected_trials = 0.0;
     let mut expected_time = 0.0;
     let p_fail = 1.0 - q;

@@ -215,8 +215,7 @@ mod tests {
     /// A physical line 0-1-2-…-(n−1) with 10 ms hops: d(i, j) = 10·|i−j|.
     fn line_oracle(n: usize) -> Arc<LatencyOracle> {
         let mut b = PhysGraphBuilder::new();
-        let ids: Vec<_> =
-            (0..n).map(|_| b.add_node(NodeClass::Transit { domain: 0 })).collect();
+        let ids: Vec<_> = (0..n).map(|_| b.add_node(NodeClass::Transit { domain: 0 })).collect();
         for w in ids.windows(2) {
             b.add_link(w[0], w[1], 10, LinkClass::TransitTransit);
         }
@@ -312,21 +311,16 @@ mod tests {
             8,
         );
         let walk = WalkPath { path: vec![Slot(0), Slot(1), Slot(2)] };
-        let degrees_before: Vec<usize> =
-            (0..8).map(|i| net.graph().degree(Slot(i))).collect();
+        let degrees_before: Vec<usize> = (0..8).map(|i| net.graph().degree(Slot(i))).collect();
         let plan = plan_propo(&net, &walk, 2).expect("plan");
         apply(&mut net, &plan);
-        let degrees_after: Vec<usize> =
-            (0..8).map(|i| net.graph().degree(Slot(i))).collect();
+        let degrees_after: Vec<usize> = (0..8).map(|i| net.graph().degree(Slot(i))).collect();
         assert_eq!(degrees_before, degrees_after, "PROP-O must preserve each node's degree");
     }
 
     #[test]
     fn propo_never_exchanges_path_nodes() {
-        let net = net_from(
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 2), (2, 4)],
-            6,
-        );
+        let net = net_from(&[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 2), (2, 4)], 6);
         let walk = WalkPath { path: vec![Slot(0), Slot(1), Slot(2)] };
         if let Some(plan) = plan_propo(&net, &walk, 4) {
             if let PlanKind::Subset { from_u, from_v } = &plan.kind {
@@ -344,8 +338,21 @@ mod tests {
         // exchanges; connectivity must never break (Theorem 1).
         let mut net = net_from(
             &[
-                (0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8), (8, 9),
-                (9, 10), (10, 11), (11, 0), (0, 6), (3, 9), (1, 7),
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 8),
+                (8, 9),
+                (9, 10),
+                (10, 11),
+                (11, 0),
+                (0, 6),
+                (3, 9),
+                (1, 7),
             ],
             12,
         );
@@ -386,10 +393,8 @@ mod tests {
         // Peers on a 10-line. u = slot 0 (peer 0), v = slot 5 (peer 5).
         // u's eligible neighbors: slots 7 (peer 7, far from u, close to v)
         // and 1 (peer 1, close to u). With m = 1, u must offer slot 7.
-        let net = net_from(
-            &[(0, 7), (0, 1), (5, 6), (5, 9), (0, 5), (1, 2), (6, 7), (8, 9), (2, 3)],
-            10,
-        );
+        let net =
+            net_from(&[(0, 7), (0, 1), (5, 6), (5, 9), (0, 5), (1, 2), (6, 7), (8, 9), (2, 3)], 10);
         let walk = WalkPath { path: vec![Slot(0), Slot(5)] };
         let plan = plan_propo(&net, &walk, 1).expect("plan");
         if let PlanKind::Subset { from_u, .. } = &plan.kind {
@@ -422,7 +427,19 @@ mod tests {
         // the same m its Var is an upper bound on any random pick's.
         let mut rng = SimRng::seed_from(6);
         let net = net_from(
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 0), (0, 4), (1, 5), (2, 6)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 0),
+                (0, 4),
+                (1, 5),
+                (2, 6),
+            ],
             8,
         );
         let walk = WalkPath { path: vec![Slot(0), Slot(1), Slot(2)] };

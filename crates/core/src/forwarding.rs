@@ -26,8 +26,8 @@
 //! in EXPERIMENTS.md. Migration restores the full improvement at a
 //! one-time transfer cost per exchange.
 
-use prop_overlay::{Lookup, OverlayNet, RouteOutcome, Slot};
 use prop_netsim::oracle::MemberIdx;
+use prop_overlay::{Lookup, OverlayNet, RouteOutcome, Slot};
 
 /// Which peer held each stored object (indexed by the owner slot at store
 /// time — one representative object per slot keeps the model small while
@@ -160,8 +160,7 @@ mod tests {
         assert_eq!(store.displacement_ratio(&net), 0.0);
         for a in 0..30u32 {
             for b in 0..30u32 {
-                let (out, redirected) =
-                    store.lookup_object(&ch, &net, Slot(a), Slot(b)).unwrap();
+                let (out, redirected) = store.lookup_object(&ch, &net, Slot(a), Slot(b)).unwrap();
                 assert!(!redirected);
                 assert_eq!(out, ch.lookup(&net, Slot(a), Slot(b)).unwrap());
             }

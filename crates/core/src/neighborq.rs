@@ -65,10 +65,7 @@ impl NeighborQueue {
 
     /// The neighbor to use as the next probe's first hop.
     pub fn best(&self) -> Option<Slot> {
-        self.items
-            .iter()
-            .min_by_key(|e| (e.priority, e.seq))
-            .map(|e| e.slot)
+        self.items.iter().min_by_key(|e| (e.priority, e.seq)).map(|e| e.slot)
     }
 
     fn min_priority(&self) -> i64 {

@@ -121,6 +121,13 @@ impl ProtocolSim {
         self.overhead
     }
 
+    /// Counters of the latency oracle's row cache, when the overlay runs on
+    /// the large-scale cached tier (`None` on the dense tier). Experiment
+    /// reports print these next to [`ProtocolSim::overhead`].
+    pub fn oracle_cache_stats(&self) -> Option<prop_netsim::CacheStats> {
+        self.net.oracle_cache_stats()
+    }
+
     /// The resolved default PROP-O exchange size (δ(G) at start).
     pub fn m_default(&self) -> usize {
         self.m_default
@@ -200,9 +207,9 @@ impl ProtocolSim {
             {
                 // Probing cost of evaluating the hypothetical neighborhoods.
                 self.overhead.probe_msgs += match &plan.kind {
-                    PlanKind::SwapAll => (self.net.graph().degree(plan.u)
-                        + self.net.graph().degree(plan.v))
-                        as u64,
+                    PlanKind::SwapAll => {
+                        (self.net.graph().degree(plan.u) + self.net.graph().degree(plan.v)) as u64
+                    }
                     PlanKind::Subset { from_u, from_v } => (from_u.len() + from_v.len()) as u64,
                 };
                 if plan.var > self.cfg.min_var {
@@ -283,9 +290,8 @@ impl ProtocolSim {
         }
         let state = NodeState::new(&self.cfg, self.net.graph(), slot, &mut self.rng);
         self.nodes[slot.index()] = Some(state);
-        let offset = Duration::from_millis(
-            self.rng.range(0..self.cfg.init_timer.as_millis().max(1)),
-        );
+        let offset =
+            Duration::from_millis(self.rng.range(0..self.cfg.init_timer.as_millis().max(1)));
         self.events.schedule_in(offset, Ev::Probe(slot));
         let neighbors: Vec<Slot> = self.net.graph().neighbors(slot).to_vec();
         self.notify_neighborhood_change(&neighbors);
@@ -389,11 +395,7 @@ mod tests {
 
     #[test]
     fn random_probe_mode_works() {
-        let (_, mut sim) = gnutella_sim(
-            30,
-            7,
-            PropConfig::prop_g().with_probe(ProbeMode::Random),
-        );
+        let (_, mut sim) = gnutella_sim(30, 7, PropConfig::prop_g().with_probe(ProbeMode::Random));
         let before = sim.net().total_link_latency();
         sim.run_for(minutes(30));
         assert!(sim.net().total_link_latency() < before);
@@ -472,25 +474,16 @@ mod tests {
     fn nhops_one_limits_improvement() {
         // Neighbor exchange (nhops=1) is expected to underperform nhops=2 —
         // the Fig. 5(a)/6(a) observation.
-        let (_, mut sim1) = gnutella_sim(
-            40,
-            12,
-            PropConfig::prop_g().with_probe(ProbeMode::Walk { nhops: 1 }),
-        );
-        let (_, mut sim2) = gnutella_sim(
-            40,
-            12,
-            PropConfig::prop_g().with_probe(ProbeMode::Walk { nhops: 2 }),
-        );
+        let (_, mut sim1) =
+            gnutella_sim(40, 12, PropConfig::prop_g().with_probe(ProbeMode::Walk { nhops: 1 }));
+        let (_, mut sim2) =
+            gnutella_sim(40, 12, PropConfig::prop_g().with_probe(ProbeMode::Walk { nhops: 2 }));
         let start = sim1.net().total_link_latency();
         assert_eq!(start, sim2.net().total_link_latency());
         sim1.run_for(minutes(60));
         sim2.run_for(minutes(60));
         let gain1 = start - sim1.net().total_link_latency();
         let gain2 = start - sim2.net().total_link_latency();
-        assert!(
-            gain2 > gain1 / 2,
-            "nhops=2 should be competitive (gain1 {gain1}, gain2 {gain2})"
-        );
+        assert!(gain2 > gain1 / 2, "nhops=2 should be competitive (gain1 {gain1}, gain2 {gain2})");
     }
 }

@@ -81,8 +81,7 @@ impl AsyncProtocolSim {
             let slot = Slot(i as u32);
             if net.graph().is_alive(slot) {
                 nodes.push(Some(NodeState::new(&cfg, net.graph(), slot, &mut rng)));
-                let offset =
-                    Duration::from_millis(rng.range(0..cfg.init_timer.as_millis().max(1)));
+                let offset = Duration::from_millis(rng.range(0..cfg.init_timer.as_millis().max(1)));
                 events.schedule_at(SimTime::ZERO + offset, Ev::Tick(slot));
             } else {
                 nodes.push(None);
@@ -105,6 +104,12 @@ impl AsyncProtocolSim {
 
     pub fn stats(&self) -> AsyncStats {
         self.stats
+    }
+
+    /// Counters of the latency oracle's row cache, when the overlay runs on
+    /// the large-scale cached tier (`None` on the dense tier).
+    pub fn oracle_cache_stats(&self) -> Option<prop_netsim::CacheStats> {
+        self.net.oracle_cache_stats()
     }
 
     /// Run all events up to and including `deadline`.
@@ -372,10 +377,7 @@ mod tests {
         let mut sim = gnutella_async(40, 6, PropConfig::prop_o());
         sim.run_for(minutes(60));
         let s = sim.stats();
-        assert!(
-            s.stale_aborts > 0,
-            "expected some stale aborts under concurrent rewiring: {s:?}"
-        );
+        assert!(s.stale_aborts > 0, "expected some stale aborts under concurrent rewiring: {s:?}");
     }
 
     #[test]

@@ -73,11 +73,7 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue with the clock at `t = 0`.
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            now: SimTime::ZERO,
-            next_seq: 0,
-        }
+        EventQueue { heap: BinaryHeap::new(), now: SimTime::ZERO, next_seq: 0 }
     }
 
     /// The current simulated instant — the timestamp of the last popped

@@ -45,18 +45,14 @@ impl SimRng {
             // self: clone, draw one word.
             child.gen()
         };
-        SimRng {
-            inner: ChaCha8Rng::seed_from_u64(h ^ salt.rotate_left(17)),
-        }
+        SimRng { inner: ChaCha8Rng::seed_from_u64(h ^ salt.rotate_left(17)) }
     }
 
     /// Derive an independent stream for an indexed entity (peer, trial, …).
     pub fn fork_indexed(&self, label: &str, index: u64) -> SimRng {
         let mut child = self.fork(label);
         let salt: u64 = child.inner.gen();
-        SimRng {
-            inner: ChaCha8Rng::seed_from_u64(salt ^ index.wrapping_mul(0x9e3779b97f4a7c15)),
-        }
+        SimRng { inner: ChaCha8Rng::seed_from_u64(salt ^ index.wrapping_mul(0x9e3779b97f4a7c15)) }
     }
 
     /// Uniform sample from a range (empty ranges panic, as in `rand`).

@@ -172,8 +172,7 @@ pub fn churn(scale: Scale, seed: u64) -> ChurnReport {
                     }
                     let victim = *churn_rng.pick(&live).unwrap();
                     let peer = sim.net().peer(victim);
-                    let affected: Vec<Slot> =
-                        sim.net().graph().neighbors(victim).to_vec();
+                    let affected: Vec<Slot> = sim.net().graph().neighbors(victim).to_vec();
                     gn.leave(sim.net_mut(), victim, &mut churn_rng);
                     sim.handle_leave(victim, &affected);
                     absent.push(peer);
@@ -201,10 +200,7 @@ pub fn churn(scale: Scale, seed: u64) -> ChurnReport {
     ChurnReport {
         stretch,
         probe_rate,
-        churn_window: (
-            churn_start.as_minutes_f64(),
-            (churn_start + churn_len).as_minutes_f64(),
-        ),
+        churn_window: (churn_start.as_minutes_f64(), (churn_start + churn_len).as_minutes_f64()),
         leaves,
         joins,
         always_connected,
@@ -237,13 +233,14 @@ pub fn combine(scale: Scale, seed: u64) -> Vec<CombineRow> {
             stretch_initial: path_stretch(&vanilla_net, &vanilla, &pairs),
             stretch_final: path_stretch(&vanilla_net, &vanilla, &pairs),
         });
-        rows.push(run_propg_over(
-            &scenario, scale, "Chord + PROP-G", vanilla, vanilla_net, &pairs,
-        ));
+        rows.push(run_propg_over(&scenario, scale, "Chord + PROP-G", vanilla, vanilla_net, &pairs));
 
         let mut rng = scenario.rng("a3-pns");
-        let (pns, pns_net) =
-            build_pns_chord(ChordParams::default(), std::sync::Arc::clone(&scenario.oracle), &mut rng);
+        let (pns, pns_net) = build_pns_chord(
+            ChordParams::default(),
+            std::sync::Arc::clone(&scenario.oracle),
+            &mut rng,
+        );
         rows.push(CombineRow {
             label: "PNS-Chord".into(),
             stretch_initial: path_stretch(&pns_net, &pns, &pairs),
@@ -278,7 +275,12 @@ pub fn combine(scale: Scale, seed: u64) -> Vec<CombineRow> {
             stretch_final: path_stretch(&vanilla_net, &vanilla, &pairs),
         });
         rows.push(run_propg_over(
-            &scenario, scale, "Pastry + PROP-G", vanilla, vanilla_net, &pairs,
+            &scenario,
+            scale,
+            "Pastry + PROP-G",
+            vanilla,
+            vanilla_net,
+            &pairs,
         ));
 
         let mut rng = scenario.rng("a3-pns-pastry");
@@ -292,9 +294,7 @@ pub fn combine(scale: Scale, seed: u64) -> Vec<CombineRow> {
             stretch_initial: path_stretch(&pns_net, &pns, &pairs),
             stretch_final: path_stretch(&pns_net, &pns, &pairs),
         });
-        rows.push(run_propg_over(
-            &scenario, scale, "PNS-Pastry + PROP-G", pns, pns_net, &pairs,
-        ));
+        rows.push(run_propg_over(&scenario, scale, "PNS-Pastry + PROP-G", pns, pns_net, &pairs));
     }
 
     // CAN family.
@@ -931,11 +931,7 @@ mod tests {
         assert_eq!(rows.len(), 5);
         // Mean degree grows (weakly) with the cap.
         for w in rows.windows(2) {
-            assert!(
-                w[1].mean_degree_final >= w[0].mean_degree_final - 0.5,
-                "{:?}",
-                rows
-            );
+            assert!(w[1].mean_degree_final >= w[0].mean_degree_final - 0.5, "{:?}", rows);
         }
         // Every cap still improves over the unoptimized overlay at frac 0.
         for r in &rows {
@@ -971,8 +967,7 @@ mod tests {
         // degrees, so flood cost stays within a whisker.
         for l in ["PROP-O", "PROP-G"] {
             let r = get(l);
-            let drift =
-                (r.msgs_per_query_final / r.msgs_per_query_initial - 1.0).abs();
+            let drift = (r.msgs_per_query_final / r.msgs_per_query_initial - 1.0).abs();
             assert!(drift < 0.05, "{l}: flood cost drifted {:.1}%", drift * 100.0);
         }
         let ltm = get("LTM");
@@ -998,12 +993,7 @@ mod tests {
         let rows = physical_model(Scale::Quick, 56);
         assert_eq!(rows.len(), 2);
         for r in &rows {
-            assert!(
-                r.improvement > 0.05,
-                "{}: improvement {:.3}",
-                r.label,
-                r.improvement
-            );
+            assert!(r.improvement > 0.05, "{}: improvement {:.3}", r.label, r.improvement);
         }
     }
 

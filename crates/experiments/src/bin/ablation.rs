@@ -52,10 +52,7 @@ fn main() {
         println!("\n=== A3 — PROP-G combined with PNS / PRS / PIS (path stretch) ===");
         println!("{:<24} {:>10} {:>10}", "configuration", "initial", "final");
         for row in &rows {
-            println!(
-                "{:<24} {:>10.3} {:>10.3}",
-                row.label, row.stretch_initial, row.stretch_final
-            );
+            println!("{:<24} {:>10.3} {:>10.3}", row.label, row.stretch_initial, row.stretch_final);
         }
         write_json("ablation_combine", &rows);
     }
@@ -63,7 +60,10 @@ fn main() {
     if want("selection") {
         let rows = ablation::selection_strategy(cli.scale, cli.seed);
         println!("\n=== A5 — PROP-O neighbor selection: greedy vs random ===");
-        println!("{:<28} {:>16} {:>10} {:>10}", "strategy", "total link lat", "exchanges", "trials");
+        println!(
+            "{:<28} {:>16} {:>10} {:>10}",
+            "strategy", "total link lat", "exchanges", "trials"
+        );
         for row in &rows {
             println!(
                 "{:<28} {:>16} {:>10} {:>10}",

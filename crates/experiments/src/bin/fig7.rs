@@ -36,12 +36,7 @@ fn main() {
         curves
             .iter()
             .find(|c| c.label == label)
-            .and_then(|c| {
-                c.points
-                    .iter()
-                    .find(|&&(x, _)| (x - f).abs() < 1e-9)
-                    .map(|&(_, y)| y)
-            })
+            .and_then(|c| c.points.iter().find(|&&(x, _)| (x - f).abs() < 1e-9).map(|&(_, y)| y))
             .unwrap_or(f64::NAN)
     };
     println!(

@@ -1,78 +1,240 @@
-//! S1 — simulator scalability: wall-clock and memory-ish cost of the full
-//! pipeline (topology → APSP oracle → overlay → 2 h of PROP-G → one
-//! measurement) as the overlay grows.
+//! S1 — production-scale latency oracle + protocol demo.
+//!
+//! The paper stops at ~1,000 members, where a dense APSP matrix is cheap.
+//! This binary pushes the same pipeline (topology → latency oracle →
+//! overlay → PROP warm-up) to 100,000 members, where a dense matrix would
+//! need ~40 GB and the oracle instead runs on its row-cache tier: one
+//! Dijkstra per requested source, rows held in a byte-bounded LRU.
+//!
+//! Two stages per size:
+//!
+//! 1. **Query storm** — answer 1,000,000 random `d(u, v)` queries
+//!    (200,000 under `--quick`), grouped by source and warmed in
+//!    cache-sized batches, asserting peak oracle memory stays under the
+//!    512 MiB cap.
+//! 2. **Protocol warm-up** — build a Gnutella overlay over the same
+//!    oracle and run a few minutes of PROP-G and PROP-O, reporting
+//!    stretch improvement and the cache counters the run generated.
 //!
 //! ```text
 //! cargo run --release -p prop-experiments --bin scale [--quick] [--seed N]
 //! ```
 //!
 //! Useful for sizing reproduction runs; not a paper figure. Wall-clock
-//! numbers are machine-dependent by nature.
+//! numbers are machine-dependent by nature; the 100k paper-scale run is
+//! compute-heavy (hundreds of thousands of on-demand Dijkstra rows) and
+//! is meant for offline study, not CI.
 
 use prop_core::{PropConfig, ProtocolSim};
-use prop_experiments::report::Cli;
+use prop_engine::{Duration, SimRng};
+use prop_experiments::report::{write_json, Cli};
 use prop_experiments::setup::Scale;
-use prop_metrics::avg_lookup_latency;
-use prop_netsim::{generate_waxman, LatencyOracle, WaxmanParams};
+use prop_metrics::OracleCacheReport;
+use prop_netsim::{generate, LatencyOracle, OracleConfig, TransitStubParams};
 use prop_overlay::gnutella::{Gnutella, GnutellaParams};
-use prop_workloads::LookupGen;
+use prop_overlay::{OverlayNet, Slot};
+use serde::Serialize;
 use std::sync::Arc;
 use std::time::Instant;
 
+/// Hard cap on oracle cache memory — the headline claim of this binary.
+const CACHE_CAP_BYTES: usize = 512 << 20;
+
+#[derive(Serialize)]
+struct SizeReport {
+    members: usize,
+    phys_hosts: usize,
+    phys_links: usize,
+    tier: &'static str,
+    topo_ms: f64,
+    oracle_build_ms: f64,
+    queries: usize,
+    query_ms: f64,
+    queries_per_sec: f64,
+    mean_query_latency_ms: f64,
+    query_cache: OracleCacheReport,
+    warmups: Vec<WarmupReport>,
+}
+
+#[derive(Serialize)]
+struct WarmupReport {
+    policy: &'static str,
+    sim_minutes: u64,
+    wall_ms: f64,
+    exchanges: u64,
+    stretch_before: f64,
+    stretch_after: f64,
+    cache: OracleCacheReport,
+}
+
 fn main() {
     let cli = Cli::parse();
-    let sizes: Vec<usize> = match cli.scale {
-        Scale::Paper => vec![500, 1000, 2000, 4000],
-        Scale::Quick => vec![200, 400],
+    let (sizes, queries, sim_minutes): (Vec<usize>, usize, u64) = match cli.scale {
+        Scale::Paper => (vec![2_000, 50_000, 100_000], 1_000_000, 5),
+        Scale::Quick => (vec![2_000, 5_000, 20_000], 200_000, 3),
     };
+    let cfg = OracleConfig { cache_capacity_bytes: CACHE_CAP_BYTES, ..OracleConfig::default() };
 
-    println!(
-        "{:>7} {:>12} {:>12} {:>12} {:>12} {:>14}",
-        "peers", "topo (ms)", "APSP (ms)", "sim 2h (ms)", "measure (ms)", "matrix (MiB)"
-    );
+    let mut reports = Vec::new();
     for n in sizes {
-        // A flat Waxman sized 2× the membership keeps host selection
-        // meaningful at every n.
-        let params = WaxmanParams {
-            nodes: n * 2,
-            alpha: (30.0 / n as f64).min(0.5),
-            beta: 0.18,
-            max_latency_ms: 120,
-        };
-        let mut rng = prop_engine::SimRng::seed_from(cli.seed);
+        reports.push(run_size(n, queries, sim_minutes, &cfg, cli.seed));
+    }
+    write_json("scale", &reports);
+}
 
-        let t0 = Instant::now();
-        let phys = generate_waxman(&params, &mut rng);
-        let t_topo = t0.elapsed();
+fn run_size(
+    n: usize,
+    queries: usize,
+    sim_minutes: u64,
+    cfg: &OracleConfig,
+    seed: u64,
+) -> SizeReport {
+    let mut rng = SimRng::seed_from(seed);
 
-        let t0 = Instant::now();
-        let oracle = Arc::new(LatencyOracle::select_and_build(&phys, n, &mut rng));
-        let t_apsp = t0.elapsed();
+    let t0 = Instant::now();
+    let params = TransitStubParams::scaled(n);
+    let phys = generate(&params, &mut rng);
+    let topo_ms = t0.elapsed().as_secs_f64() * 1e3;
 
-        let (gn, net) = Gnutella::build(GnutellaParams::default(), oracle, &mut rng);
+    let t0 = Instant::now();
+    let oracle = Arc::new(LatencyOracle::select_and_build_with(&phys, n, &mut rng, cfg));
+    let oracle_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "\n=== n = {n} members over {} hosts / {} links (tier: {}; topo {topo_ms:.0} ms, \
+         oracle build {oracle_build_ms:.0} ms) ===",
+        phys.num_nodes(),
+        phys.num_links(),
+        oracle.tier(),
+    );
 
-        let t0 = Instant::now();
-        let mut sim = ProtocolSim::new(net, PropConfig::prop_g(), &mut rng);
-        sim.run_for(prop_engine::Duration::from_minutes(120));
-        let t_sim = t0.elapsed();
-
-        let t0 = Instant::now();
-        let live: Vec<prop_overlay::Slot> = sim.net().graph().live_slots().collect();
-        let pairs = LookupGen::new(&rng).uniform_pairs(&live, 2000);
-        let summary = avg_lookup_latency(sim.net(), &gn, &pairs);
-        let t_measure = t0.elapsed();
-
-        let matrix_mib = (n * n * 4) as f64 / (1024.0 * 1024.0);
+    // Stage 1: the query storm. Group by source so each cached row is
+    // computed once, and warm sources in batches sized to half the cache
+    // so a batch never evicts its own rows.
+    let mark = oracle.cache_stats().unwrap_or_default();
+    let t0 = Instant::now();
+    let mut pairs: Vec<(usize, usize)> =
+        (0..queries).map(|_| (rng.range(0..n), rng.range(0..n))).collect();
+    pairs.sort_unstable();
+    let row_bytes = 4 * n;
+    let batch_rows = (CACHE_CAP_BYTES / row_bytes / 2).max(1);
+    let mut total_latency = 0u64;
+    let mut answered = 0u64;
+    let mut i = 0;
+    while i < pairs.len() {
+        // Extend the window until it spans `batch_rows` distinct sources.
+        let mut j = i;
+        let mut batch: Vec<usize> = Vec::with_capacity(batch_rows);
+        while j < pairs.len() && batch.len() < batch_rows {
+            if batch.last() != Some(&pairs[j].0) {
+                batch.push(pairs[j].0);
+            }
+            j += 1;
+        }
+        // Extend forward so the window ends on a source boundary.
+        while j < pairs.len() && pairs[j].0 == pairs[j - 1].0 {
+            j += 1;
+        }
+        oracle.warm_rows(&batch);
+        for &(a, b) in &pairs[i..j] {
+            let d = oracle.d(a, b);
+            total_latency += d as u64;
+            answered += 1;
+        }
+        i = j;
+    }
+    let query_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let query_cache = OracleCacheReport::from_oracle_since(&oracle, &mark);
+    let mean_query_latency_ms =
+        if answered == 0 { 0.0 } else { total_latency as f64 / answered as f64 };
+    println!(
+        "query storm: {queries} queries in {:.0} ms ({:.0}k queries/s, mean d(u,v) = {:.1} ms)",
+        query_ms,
+        queries as f64 / query_ms,
+        mean_query_latency_ms,
+    );
+    println!("  {query_cache}");
+    if let Some(stats) = oracle.cache_stats() {
+        assert!(
+            stats.peak_resident_bytes <= CACHE_CAP_BYTES,
+            "oracle exceeded the {} MiB cap: peak {} bytes",
+            CACHE_CAP_BYTES >> 20,
+            stats.peak_resident_bytes
+        );
         println!(
-            "{:>7} {:>12.0} {:>12.0} {:>12.0} {:>12.0} {:>14.1}   (mean lookup {:.0} ms, {} exchanges)",
-            n,
-            t_topo.as_secs_f64() * 1e3,
-            t_apsp.as_secs_f64() * 1e3,
-            t_sim.as_secs_f64() * 1e3,
-            t_measure.as_secs_f64() * 1e3,
-            matrix_mib,
-            summary.mean_ms,
-            sim.overhead().exchanges
+            "  memory cap OK: peak {:.1} MiB <= {} MiB",
+            stats.peak_resident_bytes as f64 / (1024.0 * 1024.0),
+            CACHE_CAP_BYTES >> 20
         );
     }
+
+    // Stage 2: PROP warm-up over the same oracle.
+    let mut warmups = Vec::new();
+    for (label, policy) in [("PROP-G", PropConfig::prop_g()), ("PROP-O", PropConfig::prop_o())] {
+        let mut wrng = rng.fork(label);
+        let (_gn, net) = Gnutella::build(GnutellaParams::default(), Arc::clone(&oracle), &mut wrng);
+        let stretch_before = batched_stretch(&net, batch_rows);
+        let mark = oracle.cache_stats().unwrap_or_default();
+        let t0 = Instant::now();
+        let mut sim = ProtocolSim::new(net, policy, &mut wrng);
+        sim.run_for(Duration::from_minutes(sim_minutes));
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let cache = OracleCacheReport::from_oracle_since(&oracle, &mark);
+        let stretch_after = batched_stretch(sim.net(), batch_rows);
+        let exchanges = sim.overhead().exchanges;
+        println!(
+            "{label}: {sim_minutes} sim-min in {wall_ms:.0} ms, {exchanges} exchanges, \
+             stretch {stretch_before:.3} -> {stretch_after:.3}",
+        );
+        println!("  {cache}");
+        warmups.push(WarmupReport {
+            policy: label,
+            sim_minutes,
+            wall_ms,
+            exchanges,
+            stretch_before,
+            stretch_after,
+            cache,
+        });
+    }
+
+    SizeReport {
+        members: n,
+        phys_hosts: phys.num_nodes(),
+        phys_links: phys.num_links(),
+        tier: oracle.tier(),
+        topo_ms,
+        oracle_build_ms,
+        queries,
+        query_ms,
+        queries_per_sec: queries as f64 / (query_ms / 1e3),
+        mean_query_latency_ms,
+        query_cache,
+        warmups,
+    }
+}
+
+/// Link stretch computed in cache-sized batches: warm the rows of a chunk
+/// of slots, then sum the latency of the edges sourced in that chunk.
+/// Equivalent to [`OverlayNet::stretch`] but never needs more than one
+/// batch of rows resident at a time.
+fn batched_stretch(net: &OverlayNet, rows_per_batch: usize) -> f64 {
+    let g = net.graph();
+    let slots: Vec<Slot> = g.live_slots().collect();
+    let mut total = 0u64;
+    let mut edges = 0u64;
+    for chunk in slots.chunks(rows_per_batch.max(1)) {
+        net.warm_latency_rows(chunk);
+        for &a in chunk {
+            for &b in g.neighbors(a) {
+                if a < b {
+                    total += net.d(a, b) as u64;
+                    edges += 1;
+                }
+            }
+        }
+    }
+    if edges == 0 {
+        return 0.0;
+    }
+    (total as f64 / edges as f64) / net.oracle().mean_phys_link_latency()
 }

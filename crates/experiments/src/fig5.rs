@@ -82,12 +82,7 @@ pub fn panel_b(scale: Scale, seed: u64) -> Vec<Curve> {
         .into_par_iter()
         .map(|n| {
             let scenario = Scenario::build(topo, n, seed);
-            run_curve(
-                &scenario,
-                PropConfig::prop_g(),
-                scale,
-                format!("n={n}, nhops=2"),
-            )
+            run_curve(&scenario, PropConfig::prop_g(), scale, format!("n={n}, nhops=2"))
         })
         .collect()
 }
@@ -122,17 +117,11 @@ mod tests {
         assert_eq!(curves.len(), 4);
         // Everything but nhops=1 should improve noticeably.
         for c in &curves[1..] {
-            assert!(
-                c.improvement > 0.03,
-                "{}: improvement {:.3}",
-                c.series.label,
-                c.improvement
-            );
+            assert!(c.improvement > 0.03, "{}: improvement {:.3}", c.series.label, c.improvement);
         }
         // nhops ≥ 2 should beat nhops = 1.
         let one = curves[0].improvement;
-        let best_rest =
-            curves[1..].iter().map(|c| c.improvement).fold(f64::MIN, f64::max);
+        let best_rest = curves[1..].iter().map(|c| c.improvement).fold(f64::MIN, f64::max);
         assert!(
             best_rest > one,
             "nhops=1 ({one:.3}) should not dominate (best rest {best_rest:.3})"

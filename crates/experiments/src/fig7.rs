@@ -135,9 +135,7 @@ pub fn run(scale: Scale, seed: u64) -> Vec<HeteroCurve> {
         let mut gen = LookupGen::new(&scenario.rng("fig7-lookups"));
         fractions
             .iter()
-            .map(|&f| {
-                (f, gen.skewed_pairs(&peer_slots, is_fast, f, scale.lookups_per_sample()))
-            })
+            .map(|&f| (f, gen.skewed_pairs(&peer_slots, is_fast, f, scale.lookups_per_sample())))
             .collect()
     };
 
@@ -164,8 +162,7 @@ pub fn run(scale: Scale, seed: u64) -> Vec<HeteroCurve> {
                 .iter()
                 .zip(&baseline)
                 .map(|((f, pairs), &base)| {
-                    let mean =
-                        avg_lookup_latency(&net, &gn, &to_slot_pairs(&net, pairs)).mean_ms;
+                    let mean = avg_lookup_latency(&net, &gn, &to_slot_pairs(&net, pairs)).mean_ms;
                     (*f, mean / base)
                 })
                 .collect();

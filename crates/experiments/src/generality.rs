@@ -48,16 +48,12 @@ fn dht_row(
     pairs: &[(Slot, Slot)],
 ) -> GeneralityRow {
     let initial = path_stretch(&net, &overlay, pairs);
-    let hops_before: Vec<Option<u32>> = pairs
-        .iter()
-        .map(|&(a, b)| overlay.lookup(&net, a, b).map(|o| o.hops))
-        .collect();
+    let hops_before: Vec<Option<u32>> =
+        pairs.iter().map(|&(a, b)| overlay.lookup(&net, a, b).map(|o| o.hops)).collect();
     let net = optimize(scenario, net, scale, label);
     let final_ = path_stretch(&net, &overlay, pairs);
-    let hops_after: Vec<Option<u32>> = pairs
-        .iter()
-        .map(|&(a, b)| overlay.lookup(&net, a, b).map(|o| o.hops))
-        .collect();
+    let hops_after: Vec<Option<u32>> =
+        pairs.iter().map(|&(a, b)| overlay.lookup(&net, a, b).map(|o| o.hops)).collect();
     GeneralityRow {
         overlay: label.to_string(),
         metric: "path stretch".to_string(),
@@ -143,8 +139,7 @@ pub fn run(scale: Scale, seed: u64) -> Vec<GeneralityRow> {
         }),
         Box::new(|| {
             let mut rng = scenario.rng("g1-can-build");
-            let (can, net) =
-                Can::build(std::sync::Arc::clone(&scenario.oracle), &mut rng);
+            let (can, net) = Can::build(std::sync::Arc::clone(&scenario.oracle), &mut rng);
             dht_row(&scenario, scale, "CAN", can, net, &pairs)
         }),
     ];
@@ -161,17 +156,8 @@ mod tests {
         let rows = run(Scale::Quick, 60);
         assert_eq!(rows.len(), 6);
         for r in &rows {
-            assert!(
-                r.structure_preserved,
-                "{}: PROP-G must not alter routes/degrees",
-                r.overlay
-            );
-            assert!(
-                r.improvement > 0.03,
-                "{}: improvement {:.3}",
-                r.overlay,
-                r.improvement
-            );
+            assert!(r.structure_preserved, "{}: PROP-G must not alter routes/degrees", r.overlay);
+            assert!(r.improvement > 0.03, "{}: improvement {:.3}", r.overlay, r.improvement);
         }
     }
 }

@@ -13,8 +13,7 @@ const GLYPHS: &[char] = &['o', '+', 'x', '*', '#', '@', '%', '&'];
 pub fn ascii_chart(series: &[&TimeSeries], width: usize, height: usize) -> String {
     let width = width.max(16);
     let height = height.max(6);
-    let points: Vec<(f64, f64)> =
-        series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let points: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
     if points.is_empty() {
         return "(no data)\n".to_string();
     }

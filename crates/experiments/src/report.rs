@@ -24,10 +24,7 @@ pub fn print_series_table(title: &str, curves: &[&TimeSeries]) {
     println!();
     let rows = curves.iter().map(|c| c.len()).max().unwrap_or(0);
     for r in 0..rows {
-        let t = curves
-            .iter()
-            .find_map(|c| c.points.get(r).map(|&(t, _)| t))
-            .unwrap_or(f64::NAN);
+        let t = curves.iter().find_map(|c| c.points.get(r).map(|&(t, _)| t)).unwrap_or(f64::NAN);
         print!("{t:>8.1}");
         for c in curves {
             match c.points.get(r) {
@@ -94,10 +91,8 @@ impl Cli {
             match a.as_str() {
                 "--quick" => scale = crate::Scale::Quick,
                 "--seed" => {
-                    seed = args
-                        .next()
-                        .and_then(|s| s.parse().ok())
-                        .expect("--seed needs an integer");
+                    seed =
+                        args.next().and_then(|s| s.parse().ok()).expect("--seed needs an integer");
                 }
                 other if !other.starts_with('-') => panel = Some(other.to_string()),
                 other => panic!("unknown flag {other}"),

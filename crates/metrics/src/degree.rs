@@ -24,12 +24,7 @@ pub fn degree_summary(g: &LogicalGraph) -> DegreeSummary {
     let n = seq.len() as f64;
     let mean = seq.iter().sum::<usize>() as f64 / n;
     let var = seq.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / n;
-    DegreeSummary {
-        min: seq[0],
-        max: *seq.last().unwrap(),
-        mean,
-        cv: var.sqrt() / mean,
-    }
+    DegreeSummary { min: seq[0], max: *seq.last().unwrap(), mean, cv: var.sqrt() / mean }
 }
 
 /// L1 distance between two degree sequences of equal length — zero iff the

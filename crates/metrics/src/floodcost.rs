@@ -25,11 +25,8 @@ pub fn flood_messages(g: &LogicalGraph, src: Slot, ttl: u32) -> u64 {
         for &u in &frontier {
             // u forwards to every neighbor except the link the query came
             // from (degree − 1 for non-source; the source sends to all).
-            let fanout = if u == src {
-                g.degree(u) as u64
-            } else {
-                (g.degree(u) as u64).saturating_sub(1)
-            };
+            let fanout =
+                if u == src { g.degree(u) as u64 } else { (g.degree(u) as u64).saturating_sub(1) };
             msgs += fanout;
             for &v in g.neighbors(u) {
                 if level[v.index()] == u32::MAX {

@@ -34,12 +34,7 @@ pub fn avg_lookup_latency(
             None => failed += 1,
         }
     }
-    LatencySummary {
-        mean_ms: lat.mean(),
-        mean_hops: hops.mean(),
-        delivered: lat.count(),
-        failed,
-    }
+    LatencySummary { mean_ms: lat.mean(), mean_hops: hops.mean(), delivered: lat.count(), failed }
 }
 
 #[cfg(test)]

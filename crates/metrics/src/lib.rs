@@ -10,12 +10,15 @@
 //!   plots.
 //! * [`degree`] — degree-distribution summaries for the PROP-O
 //!   power-law-preservation argument.
+//! * [`oraclestats`] — latency-oracle row-cache hit/miss/eviction counters
+//!   for large-scale (beyond-paper) runs.
 
 pub mod convergence;
 pub mod degree;
 pub mod floodcost;
 pub mod histogram;
 pub mod latency;
+pub mod oraclestats;
 pub mod stretch;
 pub mod timeseries;
 
@@ -23,5 +26,6 @@ pub use convergence::{convergence, Convergence};
 pub use floodcost::{flood_messages, mean_flood_messages};
 pub use histogram::{class_breakdown, ClassBreakdown, LatencyCdf};
 pub use latency::{avg_lookup_latency, LatencySummary};
+pub use oraclestats::OracleCacheReport;
 pub use stretch::{link_stretch, path_stretch};
 pub use timeseries::TimeSeries;

@@ -1,0 +1,153 @@
+//! Latency-oracle cache counters as a reportable metric.
+//!
+//! The row-cache oracle tier (`prop_netsim::CachedOracle`) answers `d(u,v)`
+//! from a byte-bounded LRU of Dijkstra rows; whether an experiment is
+//! compute-bound (misses) or memory-bound (evictions) is part of its
+//! result. [`OracleCacheReport`] packages the counters with derived rates
+//! for the experiment binaries' tables and JSON dumps.
+
+use prop_netsim::{CacheStats, LatencyOracle};
+use serde::Serialize;
+
+/// One oracle's cache behavior over a measured window.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct OracleCacheReport {
+    /// Which tier answered: `"dense"` (no cache — all other fields zero)
+    /// or `"row-cache"`.
+    pub tier: &'static str,
+    pub hits: u64,
+    pub misses: u64,
+    /// `hits / (hits + misses)`, 0 when nothing was asked.
+    pub hit_rate: f64,
+    pub evictions: u64,
+    pub resident_rows: usize,
+    pub resident_bytes: usize,
+    pub peak_resident_bytes: usize,
+    pub capacity_bytes: usize,
+}
+
+impl OracleCacheReport {
+    /// Snapshot an oracle's counters. The dense tier yields an all-zero
+    /// report tagged `"dense"` so tables stay rectangular across tiers.
+    pub fn from_oracle(oracle: &LatencyOracle) -> Self {
+        match oracle.cache_stats() {
+            Some(s) => Self::from_stats(oracle.tier(), s),
+            None => Self::from_stats(oracle.tier(), CacheStats::default()),
+        }
+    }
+
+    /// Report over the window since `earlier` (counters diffed, gauges
+    /// current).
+    pub fn from_oracle_since(oracle: &LatencyOracle, earlier: &CacheStats) -> Self {
+        match oracle.cache_stats() {
+            Some(s) => Self::from_stats(oracle.tier(), s.since(earlier)),
+            None => Self::from_stats(oracle.tier(), CacheStats::default()),
+        }
+    }
+
+    pub fn from_stats(tier: &'static str, s: CacheStats) -> Self {
+        OracleCacheReport {
+            tier,
+            hits: s.hits,
+            misses: s.misses,
+            hit_rate: s.hit_rate(),
+            evictions: s.evictions,
+            resident_rows: s.resident_rows,
+            resident_bytes: s.resident_bytes,
+            peak_resident_bytes: s.peak_resident_bytes,
+            capacity_bytes: s.capacity_bytes,
+        }
+    }
+}
+
+fn mib(bytes: usize) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+impl std::fmt::Display for OracleCacheReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.tier == "dense" {
+            return write!(f, "oracle tier dense (full matrix resident, no cache)");
+        }
+        write!(
+            f,
+            "oracle tier {}: {} hits / {} misses ({:.1}% hit rate), {} evictions, \
+             {} rows resident ({:.1} MiB, peak {:.1} MiB, cap {:.0} MiB)",
+            self.tier,
+            self.hits,
+            self.misses,
+            self.hit_rate * 100.0,
+            self.evictions,
+            self.resident_rows,
+            mib(self.resident_bytes),
+            mib(self.peak_resident_bytes),
+            mib(self.capacity_bytes),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prop_engine::SimRng;
+    use prop_netsim::{generate, OracleConfig, TransitStubParams};
+
+    fn oracles() -> (LatencyOracle, LatencyOracle) {
+        let mut rng = SimRng::seed_from(1);
+        let g = generate(&TransitStubParams::tiny(), &mut rng);
+        let dense = LatencyOracle::select_and_build(&g, 10, &mut rng);
+        let mut rng2 = SimRng::seed_from(1);
+        let g2 = generate(&TransitStubParams::tiny(), &mut rng2);
+        let cached = LatencyOracle::select_and_build_with(
+            &g2,
+            10,
+            &mut rng2,
+            &OracleConfig::cached(1 << 20),
+        );
+        (dense, cached)
+    }
+
+    #[test]
+    fn dense_report_is_tagged_and_quiet() {
+        let (dense, _) = oracles();
+        let r = OracleCacheReport::from_oracle(&dense);
+        assert_eq!(r.tier, "dense");
+        assert_eq!((r.hits, r.misses, r.capacity_bytes), (0, 0, 0));
+        assert!(r.to_string().contains("dense"));
+    }
+
+    #[test]
+    fn cached_report_carries_counters() {
+        let (_, cached) = oracles();
+        let _ = cached.d(1, 2);
+        let _ = cached.d(1, 3);
+        let r = OracleCacheReport::from_oracle(&cached);
+        assert_eq!(r.tier, "row-cache");
+        assert!(r.misses >= 1);
+        assert!(r.hits >= 1);
+        assert!(r.hit_rate > 0.0 && r.hit_rate < 1.0);
+        let text = r.to_string();
+        assert!(text.contains("hit rate"), "{text}");
+        assert!(text.contains("row-cache"), "{text}");
+    }
+
+    #[test]
+    fn windowed_report_diffs_counters() {
+        let (_, cached) = oracles();
+        let _ = cached.d(1, 2);
+        let mark = cached.cache_stats().unwrap();
+        let _ = cached.d(1, 3); // hit on row 1
+        let r = OracleCacheReport::from_oracle_since(&cached, &mark);
+        assert_eq!(r.misses, 0);
+        assert!(r.hits >= 1);
+    }
+
+    #[test]
+    fn serializes_for_results_json() {
+        let (_, cached) = oracles();
+        let r = OracleCacheReport::from_oracle(&cached);
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"tier\":\"row-cache\""), "{json}");
+        assert!(json.contains("hit_rate"), "{json}");
+    }
+}

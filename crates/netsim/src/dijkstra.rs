@@ -53,9 +53,7 @@ mod tests {
     /// Path graph 0 -5- 1 -7- 2 -1- 3 plus shortcut 0 -20- 3.
     fn line_with_shortcut() -> PhysGraph {
         let mut b = PhysGraphBuilder::new();
-        let ids: Vec<_> = (0..4)
-            .map(|_| b.add_node(NodeClass::Transit { domain: 0 }))
-            .collect();
+        let ids: Vec<_> = (0..4).map(|_| b.add_node(NodeClass::Transit { domain: 0 })).collect();
         b.add_link(ids[0], ids[1], 5, LinkClass::TransitTransit);
         b.add_link(ids[1], ids[2], 7, LinkClass::TransitTransit);
         b.add_link(ids[2], ids[3], 1, LinkClass::TransitTransit);

@@ -7,6 +7,7 @@
 //! performs.
 
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 
 /// Index of a host in the physical network.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
@@ -60,6 +61,10 @@ struct RawEdge {
 pub struct PhysGraphBuilder {
     classes: Vec<NodeClass>,
     edges: Vec<RawEdge>,
+    /// Normalized `(min, max)` endpoint pairs of `edges`, for O(1)
+    /// `has_link` — the generators probe it inside their edge loops, and a
+    /// linear scan made 100k-host topologies quadratic to build.
+    edge_set: HashSet<(u32, u32)>,
 }
 
 impl PhysGraphBuilder {
@@ -79,15 +84,18 @@ impl PhysGraphBuilder {
     pub fn add_link(&mut self, a: PhysNodeId, b: PhysNodeId, latency_ms: u32, class: LinkClass) {
         assert_ne!(a, b, "self-link {a:?}");
         assert!(a.index() < self.classes.len() && b.index() < self.classes.len());
+        self.edge_set.insert(Self::norm(a, b));
         self.edges.push(RawEdge { a: a.0, b: b.0, latency_ms, class });
     }
 
-    /// Whether a link between `a` and `b` already exists (linear scan; only
-    /// used during generation where edge counts are small per node).
+    #[inline]
+    fn norm(a: PhysNodeId, b: PhysNodeId) -> (u32, u32) {
+        (a.0.min(b.0), a.0.max(b.0))
+    }
+
+    /// Whether a link between `a` and `b` already exists. O(1).
     pub fn has_link(&self, a: PhysNodeId, b: PhysNodeId) -> bool {
-        self.edges
-            .iter()
-            .any(|e| (e.a == a.0 && e.b == b.0) || (e.a == b.0 && e.b == a.0))
+        self.edge_set.contains(&Self::norm(a, b))
     }
 
     pub fn num_nodes(&self) -> usize {

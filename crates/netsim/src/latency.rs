@@ -1,0 +1,147 @@
+//! The tier-agnostic latency interface and its configuration.
+//!
+//! Every consumer of `d(u, v)` — PROP probes, LTM detection, the metrics —
+//! talks to a [`Latency`] implementation. Two tiers exist (see
+//! [`crate::LatencyOracle`]):
+//!
+//! * **dense** — the full `n × n` matrix, precomputed once. O(n²) memory,
+//!   O(1) lookups with no synchronization. The fast path for every
+//!   paper-scale experiment (n ≤ a few thousand).
+//! * **row-cache** — one Dijkstra per *requested source*, rows retained in
+//!   a sharded LRU bounded in bytes. O(capacity) memory regardless of `n`,
+//!   which is what lets a 100,000-member overlay run at all: the dense
+//!   matrix would need 40 GB, the cache runs in a few hundred MB.
+//!
+//! Callers never pick a tier by hand; [`OracleConfig::dense_threshold`]
+//! routes construction, and the facade's `d()` hides the difference.
+
+use crate::graph::PhysNodeId;
+use crate::oracle::MemberIdx;
+use serde::{Deserialize, Serialize};
+
+/// Tier-agnostic view of member-to-member latencies.
+///
+/// Implemented by both oracle tiers and by the [`crate::LatencyOracle`]
+/// facade; generic code (equivalence tests, reporting) can treat any of
+/// them uniformly.
+pub trait Latency: Send + Sync {
+    /// Number of members.
+    fn len(&self) -> usize;
+
+    /// End-to-end latency between members `a` and `b`, in ms.
+    fn d(&self, a: MemberIdx, b: MemberIdx) -> u32;
+
+    /// The physical host backing member `i`.
+    fn host(&self, i: MemberIdx) -> PhysNodeId;
+
+    /// Mean physical *link* latency — denominator of the stretch metric.
+    fn mean_phys_link_latency(&self) -> f64;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Construction-time knobs for [`crate::LatencyOracle`].
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OracleConfig {
+    /// Member counts up to this build the dense matrix tier; larger counts
+    /// get the row cache. The default (4,096) keeps every paper-scale
+    /// experiment on the dense fast path while capping its memory at
+    /// 4096² × 4 B = 64 MiB.
+    pub dense_threshold: usize,
+    /// Byte budget for resident rows in the row-cache tier. One row costs
+    /// `4 × n` bytes (plus small bookkeeping), so the default 512 MiB holds
+    /// ~1,342 rows at n = 100,000.
+    pub cache_capacity_bytes: usize,
+    /// Number of independent LRU shards (each with its own lock); must be
+    /// ≥ 1. More shards ⇒ less contention under parallel query load.
+    pub cache_shards: usize,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig { dense_threshold: 4096, cache_capacity_bytes: 512 << 20, cache_shards: 16 }
+    }
+}
+
+impl OracleConfig {
+    /// Force the dense tier at any member count.
+    pub fn dense() -> Self {
+        OracleConfig { dense_threshold: usize::MAX, ..Default::default() }
+    }
+
+    /// Force the row-cache tier (at any member count) with the given byte
+    /// budget.
+    pub fn cached(capacity_bytes: usize) -> Self {
+        OracleConfig {
+            dense_threshold: 0,
+            cache_capacity_bytes: capacity_bytes,
+            ..Default::default()
+        }
+    }
+}
+
+/// A member pair the oracle cannot connect. Returned by the `try_build`
+/// constructors instead of the historical panic-after-the-fact, and named
+/// precisely so generator bugs are debuggable: *which* members, on *which*
+/// hosts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OracleBuildError {
+    /// Member index of the unreachable pair's source side.
+    pub from_member: MemberIdx,
+    /// Physical host backing `from_member`.
+    pub from_host: PhysNodeId,
+    /// Member index of the unreachable pair's destination side.
+    pub to_member: MemberIdx,
+    /// Physical host backing `to_member`.
+    pub to_host: PhysNodeId,
+}
+
+impl std::fmt::Display for OracleBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "latency oracle built over a disconnected member set: \
+             member {} (host {:?}) cannot reach member {} (host {:?})",
+            self.from_member, self.from_host, self.to_member, self.to_host
+        )
+    }
+}
+
+impl std::error::Error for OracleBuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = OracleConfig::default();
+        assert!(c.dense_threshold >= 4096);
+        assert!(c.cache_capacity_bytes >= 1 << 20);
+        assert!(c.cache_shards >= 1);
+    }
+
+    #[test]
+    fn forced_tiers() {
+        assert_eq!(OracleConfig::dense().dense_threshold, usize::MAX);
+        let c = OracleConfig::cached(1 << 20);
+        assert_eq!(c.dense_threshold, 0);
+        assert_eq!(c.cache_capacity_bytes, 1 << 20);
+    }
+
+    #[test]
+    fn error_names_the_pair() {
+        let e = OracleBuildError {
+            from_member: 3,
+            from_host: PhysNodeId(30),
+            to_member: 7,
+            to_host: PhysNodeId(70),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("disconnected member set"));
+        assert!(msg.contains("member 3"));
+        assert!(msg.contains("member 7"));
+    }
+}

@@ -12,8 +12,13 @@
 //!   [`TransitStubParams::ts_large`] and [`TransitStubParams::ts_small`].
 //! * [`dijkstra`] — single-source shortest paths over link latencies.
 //! * [`LatencyOracle`] — the `d(u, v)` oracle every protocol and metric
-//!   consults: precomputed shortest-path latencies between the physical
-//!   hosts that joined the overlay (computed in parallel with Rayon).
+//!   consults. **Tiered**: member counts up to
+//!   [`OracleConfig::dense_threshold`] precompute the full latency matrix
+//!   in parallel with Rayon (the paper-scale fast path); larger
+//!   populations answer from a byte-bounded sharded LRU of on-demand
+//!   Dijkstra rows, so a 100,000-member overlay runs in a few hundred MB
+//!   instead of the 40 GB a dense matrix would need. See [`latency`] and
+//!   [`rowcache`], and DESIGN.md §9 for the memory model.
 //!
 //! ## Faithfulness notes (see DESIGN.md §3)
 //!
@@ -23,11 +28,15 @@
 
 pub mod dijkstra;
 pub mod graph;
+pub mod latency;
 pub mod oracle;
+pub mod rowcache;
 pub mod transit_stub;
 pub mod waxman;
 
 pub use graph::{LinkClass, NodeClass, PhysGraph, PhysNodeId};
-pub use oracle::LatencyOracle;
+pub use latency::{Latency, OracleBuildError, OracleConfig};
+pub use oracle::{CachedOracle, DenseOracle, LatencyOracle};
+pub use rowcache::CacheStats;
 pub use transit_stub::{generate, TransitStubParams};
 pub use waxman::{generate_waxman, WaxmanParams};

@@ -1,26 +1,64 @@
 //! The latency oracle: `d(u, v)` for overlay members.
 //!
 //! Every PROP probe, every LTM detector, and every metric evaluation asks
-//! for the end-to-end latency between two overlay members. Rather than
-//! re-running shortest paths on demand, the oracle precomputes the full
-//! member-to-member latency matrix once per experiment: one Dijkstra per
-//! member over the physical graph, fanned out across cores with Rayon
-//! (~1,000 members × ~3,000-node graph completes in well under a second).
+//! for the end-to-end latency between two overlay members. The oracle is
+//! **tiered** behind one facade, [`LatencyOracle`]:
+//!
+//! * [`DenseOracle`] — the full row-major `n × n` matrix, one Dijkstra per
+//!   member fanned out across cores with Rayon (~1,000 members × ~3,000-node
+//!   graph completes in well under a second). `d(a, b)` is a single array
+//!   load; this is the tier every paper-scale experiment uses.
+//! * [`CachedOracle`] — for member counts where O(n²) memory is not an
+//!   option (100,000 members would need 40 GB), one Dijkstra per *requested
+//!   source*, with rows retained in a byte-bounded sharded LRU
+//!   ([`crate::rowcache::RowCache`]). Batch warm-up fans the per-source
+//!   Dijkstras over Rayon.
+//!
+//! Construction routes on [`OracleConfig::dense_threshold`]; callers are
+//! tier-agnostic. Connectivity is validated per row *during* construction
+//! (dense) or from a single source on the undirected graph (cached), and
+//! the `try_build` constructors report the offending member pair instead of
+//! panicking after the full build.
 //!
 //! Members are addressed by dense [`MemberIdx`] values `0..n`; the overlay
-//! crates use the same indexing for peers, so `d(peer_a, peer_b)` is a
-//! single array lookup on the hot path.
+//! crates use the same indexing for peers.
 
-use crate::dijkstra::shortest_paths;
+use crate::dijkstra::{shortest_paths, UNREACHABLE};
 use crate::graph::{PhysGraph, PhysNodeId};
+use crate::latency::{Latency, OracleBuildError, OracleConfig};
+use crate::rowcache::{CacheStats, RowCache};
 use prop_engine::SimRng;
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// Dense index of an overlay member inside a [`LatencyOracle`].
 pub type MemberIdx = usize;
 
-/// Precomputed member-to-member shortest-path latencies.
-pub struct LatencyOracle {
+/// Extract the member-indexed row from a full per-host distance array,
+/// failing on the first unreachable destination.
+fn member_row(
+    full: &[u32],
+    members: &[PhysNodeId],
+    src_member: MemberIdx,
+) -> Result<Vec<u32>, OracleBuildError> {
+    let mut row = Vec::with_capacity(members.len());
+    for (j, &dst) in members.iter().enumerate() {
+        let d = full[dst.index()];
+        if d == UNREACHABLE {
+            return Err(OracleBuildError {
+                from_member: src_member,
+                from_host: members[src_member],
+                to_member: j,
+                to_host: dst,
+            });
+        }
+        row.push(d);
+    }
+    Ok(row)
+}
+
+/// Dense tier: the fully materialized latency matrix.
+pub struct DenseOracle {
     /// Physical host backing each member.
     members: Vec<PhysNodeId>,
     /// Row-major `n × n` latency matrix, ms.
@@ -30,84 +68,34 @@ pub struct LatencyOracle {
     mean_phys_link_latency: f64,
 }
 
-impl LatencyOracle {
-    /// Build the oracle for an explicit member set.
-    ///
-    /// Panics if any member cannot reach any other (the transit–stub
-    /// generator always produces connected graphs, so this indicates a bug).
-    pub fn build(graph: &PhysGraph, members: Vec<PhysNodeId>) -> Self {
+impl DenseOracle {
+    /// Build the full matrix, validating connectivity per row as rows are
+    /// produced — a disconnected pair fails fast inside the parallel row
+    /// pass, before the matrix is assembled.
+    pub fn try_build(
+        graph: &PhysGraph,
+        members: Vec<PhysNodeId>,
+    ) -> Result<Self, OracleBuildError> {
         let n = members.len();
         let rows: Vec<Vec<u32>> = members
             .par_iter()
-            .map(|&src| {
-                let full = shortest_paths(graph, src);
-                members.iter().map(|&dst| full[dst.index()]).collect()
-            })
-            .collect();
+            .enumerate()
+            .map(|(i, &src)| member_row(&shortest_paths(graph, src), &members, i))
+            .collect::<Result<_, _>>()?;
         let mut matrix = Vec::with_capacity(n * n);
         for row in rows {
             matrix.extend_from_slice(&row);
         }
-        assert!(
-            matrix.iter().all(|&d| d != crate::dijkstra::UNREACHABLE),
-            "latency oracle built over a disconnected member set"
-        );
-        LatencyOracle {
+        Ok(DenseOracle {
             members,
             matrix: matrix.into_boxed_slice(),
             n,
             mean_phys_link_latency: graph.mean_link_latency(),
-        }
+        })
     }
 
-    /// Select `n` overlay members uniformly from the graph's stub (edge
-    /// host) population and build the oracle. This mirrors the paper's
-    /// setup: overlay peers are end systems, not backbone routers.
-    ///
-    /// Panics if the graph has fewer than `n` stub nodes.
-    pub fn select_and_build(graph: &PhysGraph, n: usize, rng: &mut SimRng) -> Self {
-        let stubs = graph.stub_nodes();
-        assert!(
-            stubs.len() >= n,
-            "requested {n} members but the topology has only {} stub hosts",
-            stubs.len()
-        );
-        let members = rng.fork("member-selection").sample_distinct(&stubs, n);
-        Self::build(graph, members)
-    }
-
-    /// Number of members.
-    #[inline]
-    pub fn len(&self) -> usize {
-        self.n
-    }
-
-    #[inline]
-    pub fn is_empty(&self) -> bool {
-        self.n == 0
-    }
-
-    /// End-to-end latency between members `a` and `b`, in ms.
-    #[inline]
-    pub fn d(&self, a: MemberIdx, b: MemberIdx) -> u32 {
-        debug_assert!(a < self.n && b < self.n);
-        self.matrix[a * self.n + b]
-    }
-
-    /// The physical host backing member `i`.
-    #[inline]
-    pub fn host(&self, i: MemberIdx) -> PhysNodeId {
-        self.members[i]
-    }
-
-    /// Mean physical link latency (stretch denominator).
-    #[inline]
-    pub fn mean_phys_link_latency(&self) -> f64 {
-        self.mean_phys_link_latency
-    }
-
-    /// Mean latency over all ordered member pairs (the paper's Eq. 3
-    /// "average latency" over the member population, with `d(i,i) = 0`).
+    /// Mean latency over all ordered member pairs (exact; the paper's Eq. 3
+    /// "average latency" with `d(i,i) = 0`).
     pub fn mean_pairwise_latency(&self) -> f64 {
         if self.n == 0 {
             return f64::NAN;
@@ -117,15 +105,367 @@ impl LatencyOracle {
     }
 }
 
+impl Latency for DenseOracle {
+    #[inline]
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn d(&self, a: MemberIdx, b: MemberIdx) -> u32 {
+        debug_assert!(a < self.n && b < self.n);
+        self.matrix[a * self.n + b]
+    }
+
+    #[inline]
+    fn host(&self, i: MemberIdx) -> PhysNodeId {
+        self.members[i]
+    }
+
+    #[inline]
+    fn mean_phys_link_latency(&self) -> f64 {
+        self.mean_phys_link_latency
+    }
+}
+
+/// Row-cache tier: Dijkstra on demand, rows kept in a byte-bounded LRU.
+pub struct CachedOracle {
+    members: Vec<PhysNodeId>,
+    /// Owned copy of the physical graph (CSR arrays) — rows are recomputed
+    /// from it on every cache miss.
+    graph: PhysGraph,
+    cache: RowCache,
+    mean_phys_link_latency: f64,
+}
+
+impl CachedOracle {
+    /// Validate connectivity with a single Dijkstra from the first member
+    /// (the graph is undirected, so one source reaching every member means
+    /// every pair is connected) and seed the cache with that row.
+    pub fn try_build(
+        graph: &PhysGraph,
+        members: Vec<PhysNodeId>,
+        cfg: &OracleConfig,
+    ) -> Result<Self, OracleBuildError> {
+        let cache = RowCache::new(members.len(), cfg.cache_capacity_bytes, cfg.cache_shards);
+        let oracle = CachedOracle {
+            mean_phys_link_latency: graph.mean_link_latency(),
+            graph: graph.clone(),
+            members,
+            cache,
+        };
+        if !oracle.members.is_empty() {
+            let full = shortest_paths(&oracle.graph, oracle.members[0]);
+            let row = member_row(&full, &oracle.members, 0)?;
+            oracle.cache.record_miss();
+            oracle.cache.insert(0, row.into());
+        }
+        Ok(oracle)
+    }
+
+    fn compute_row(&self, src: MemberIdx) -> Arc<[u32]> {
+        let full = shortest_paths(&self.graph, self.members[src]);
+        let row: Arc<[u32]> = self.members.iter().map(|&m| full[m.index()]).collect();
+        debug_assert!(
+            row.iter().all(|&d| d != UNREACHABLE),
+            "connectivity was validated at construction"
+        );
+        row
+    }
+
+    /// The cached row for `src`, computing and inserting it on a miss.
+    pub fn row(&self, src: MemberIdx) -> Arc<[u32]> {
+        if let Some(r) = self.cache.get(src) {
+            return r;
+        }
+        self.cache.record_miss();
+        let row = self.compute_row(src);
+        self.cache.insert(src, Arc::clone(&row));
+        row
+    }
+
+    /// Compute any non-resident rows among `sources` in parallel (Rayon)
+    /// and insert them. Memory stays bounded: each worker holds one row in
+    /// flight, and the LRU enforces the byte budget as rows land.
+    pub fn warm_rows(&self, sources: &[MemberIdx]) {
+        let mut todo: Vec<MemberIdx> = sources.to_vec();
+        todo.sort_unstable();
+        todo.dedup();
+        todo.retain(|&s| !self.cache.contains(s));
+        todo.into_par_iter().for_each(|s| {
+            let row = self.compute_row(s);
+            self.cache.record_miss();
+            self.cache.insert(s, row);
+        });
+    }
+
+    /// Cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Deterministic *estimate* of the mean ordered-pair latency, averaged
+    /// over up to 64 stride-sampled source rows (an exact mean would need
+    /// all n Dijkstras — the very cost this tier exists to avoid).
+    pub fn mean_pairwise_latency(&self) -> f64 {
+        let n = self.members.len();
+        if n == 0 {
+            return f64::NAN;
+        }
+        let k = n.min(64);
+        let mut total: u64 = 0;
+        for i in 0..k {
+            let src = i * n / k;
+            total += self.row(src).iter().map(|&d| d as u64).sum::<u64>();
+        }
+        total as f64 / (k as f64 * n as f64)
+    }
+}
+
+impl Latency for CachedOracle {
+    #[inline]
+    fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    fn d(&self, a: MemberIdx, b: MemberIdx) -> u32 {
+        debug_assert!(a < self.members.len() && b < self.members.len());
+        if a == b {
+            return 0;
+        }
+        if let Some(r) = self.cache.get(a) {
+            return r[b];
+        }
+        // Latencies are symmetric (undirected graph): b's row serves too.
+        if let Some(r) = self.cache.get(b) {
+            return r[a];
+        }
+        self.cache.record_miss();
+        let row = self.compute_row(a);
+        let d = row[b];
+        self.cache.insert(a, row);
+        d
+    }
+
+    #[inline]
+    fn host(&self, i: MemberIdx) -> PhysNodeId {
+        self.members[i]
+    }
+
+    #[inline]
+    fn mean_phys_link_latency(&self) -> f64 {
+        self.mean_phys_link_latency
+    }
+}
+
+/// The tier-agnostic latency oracle every caller holds.
+///
+/// Constructors pick the tier from [`OracleConfig::dense_threshold`]
+/// (default 4,096): paper-scale populations get the dense matrix, larger
+/// ones the bounded row cache. All query methods behave identically across
+/// tiers — the equivalence is property-tested byte-for-byte in
+/// `tests/tier_equivalence.rs`.
+pub enum LatencyOracle {
+    Dense(DenseOracle),
+    Cached(CachedOracle),
+}
+
+impl LatencyOracle {
+    /// Build with default configuration for an explicit member set.
+    ///
+    /// Panics if any member cannot reach any other (the generators always
+    /// produce connected graphs, so this indicates a bug); the panic names
+    /// the offending member pair. Use [`LatencyOracle::try_build`] to
+    /// handle the error instead.
+    pub fn build(graph: &PhysGraph, members: Vec<PhysNodeId>) -> Self {
+        Self::build_with(graph, members, &OracleConfig::default())
+    }
+
+    /// Build with an explicit configuration, panicking on disconnection.
+    pub fn build_with(graph: &PhysGraph, members: Vec<PhysNodeId>, cfg: &OracleConfig) -> Self {
+        match Self::try_build_with(graph, members, cfg) {
+            Ok(o) => o,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible build with default configuration.
+    pub fn try_build(
+        graph: &PhysGraph,
+        members: Vec<PhysNodeId>,
+    ) -> Result<Self, OracleBuildError> {
+        Self::try_build_with(graph, members, &OracleConfig::default())
+    }
+
+    /// Fallible build: dense tier when `members.len() <= cfg.dense_threshold`,
+    /// row-cache tier otherwise. Disconnected member sets fail fast with the
+    /// offending pair named.
+    pub fn try_build_with(
+        graph: &PhysGraph,
+        members: Vec<PhysNodeId>,
+        cfg: &OracleConfig,
+    ) -> Result<Self, OracleBuildError> {
+        if members.len() <= cfg.dense_threshold {
+            DenseOracle::try_build(graph, members).map(LatencyOracle::Dense)
+        } else {
+            CachedOracle::try_build(graph, members, cfg).map(LatencyOracle::Cached)
+        }
+    }
+
+    /// Select `n` overlay members uniformly from the graph's stub (edge
+    /// host) population and build the oracle. This mirrors the paper's
+    /// setup: overlay peers are end systems, not backbone routers.
+    ///
+    /// Panics if the graph has fewer than `n` stub nodes.
+    pub fn select_and_build(graph: &PhysGraph, n: usize, rng: &mut SimRng) -> Self {
+        Self::select_and_build_with(graph, n, rng, &OracleConfig::default())
+    }
+
+    /// [`LatencyOracle::select_and_build`] with an explicit configuration.
+    pub fn select_and_build_with(
+        graph: &PhysGraph,
+        n: usize,
+        rng: &mut SimRng,
+        cfg: &OracleConfig,
+    ) -> Self {
+        let stubs = graph.stub_nodes();
+        assert!(
+            stubs.len() >= n,
+            "requested {n} members but the topology has only {} stub hosts",
+            stubs.len()
+        );
+        let members = rng.fork("member-selection").sample_distinct(&stubs, n);
+        Self::build_with(graph, members, cfg)
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            LatencyOracle::Dense(o) => o.len(),
+            LatencyOracle::Cached(o) => o.len(),
+        }
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// End-to-end latency between members `a` and `b`, in ms.
+    #[inline]
+    pub fn d(&self, a: MemberIdx, b: MemberIdx) -> u32 {
+        match self {
+            LatencyOracle::Dense(o) => o.d(a, b),
+            LatencyOracle::Cached(o) => o.d(a, b),
+        }
+    }
+
+    /// The physical host backing member `i`.
+    #[inline]
+    pub fn host(&self, i: MemberIdx) -> PhysNodeId {
+        match self {
+            LatencyOracle::Dense(o) => o.host(i),
+            LatencyOracle::Cached(o) => o.host(i),
+        }
+    }
+
+    /// Mean physical link latency (stretch denominator).
+    #[inline]
+    pub fn mean_phys_link_latency(&self) -> f64 {
+        match self {
+            LatencyOracle::Dense(o) => o.mean_phys_link_latency(),
+            LatencyOracle::Cached(o) => o.mean_phys_link_latency(),
+        }
+    }
+
+    /// Mean latency over all ordered member pairs (the paper's Eq. 3
+    /// "average latency" over the member population, with `d(i,i) = 0`).
+    /// Exact on the dense tier; a deterministic 64-row sample estimate on
+    /// the row-cache tier.
+    pub fn mean_pairwise_latency(&self) -> f64 {
+        match self {
+            LatencyOracle::Dense(o) => o.mean_pairwise_latency(),
+            LatencyOracle::Cached(o) => o.mean_pairwise_latency(),
+        }
+    }
+
+    /// Which tier is live — for logs and experiment reports.
+    pub fn tier(&self) -> &'static str {
+        match self {
+            LatencyOracle::Dense(_) => "dense",
+            LatencyOracle::Cached(_) => "row-cache",
+        }
+    }
+
+    /// Row-cache counters; `None` on the dense tier (which has no cache).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        match self {
+            LatencyOracle::Dense(_) => None,
+            LatencyOracle::Cached(o) => Some(o.cache_stats()),
+        }
+    }
+
+    /// Batch warm-up: ensure the rows for `sources` are resident, fanning
+    /// the per-source Dijkstras over Rayon. No-op on the dense tier (every
+    /// row is always resident there).
+    pub fn warm_rows(&self, sources: &[MemberIdx]) {
+        if let LatencyOracle::Cached(o) = self {
+            o.warm_rows(sources);
+        }
+    }
+}
+
+impl Latency for LatencyOracle {
+    #[inline]
+    fn len(&self) -> usize {
+        LatencyOracle::len(self)
+    }
+
+    #[inline]
+    fn d(&self, a: MemberIdx, b: MemberIdx) -> u32 {
+        LatencyOracle::d(self, a, b)
+    }
+
+    #[inline]
+    fn host(&self, i: MemberIdx) -> PhysNodeId {
+        LatencyOracle::host(self, i)
+    }
+
+    #[inline]
+    fn mean_phys_link_latency(&self) -> f64 {
+        LatencyOracle::mean_phys_link_latency(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::{LinkClass, NodeClass, PhysGraphBuilder};
     use crate::transit_stub::{generate, TransitStubParams};
 
     fn tiny_oracle(n: usize, seed: u64) -> LatencyOracle {
         let mut rng = SimRng::seed_from(seed);
         let g = generate(&TransitStubParams::tiny(), &mut rng);
         LatencyOracle::select_and_build(&g, n, &mut rng)
+    }
+
+    fn tiny_cached(n: usize, seed: u64, capacity: usize) -> LatencyOracle {
+        let mut rng = SimRng::seed_from(seed);
+        let g = generate(&TransitStubParams::tiny(), &mut rng);
+        LatencyOracle::select_and_build_with(&g, n, &mut rng, &OracleConfig::cached(capacity))
+    }
+
+    /// Two stub components with no path between them.
+    fn disconnected_graph() -> (PhysGraph, Vec<PhysNodeId>) {
+        let mut b = PhysGraphBuilder::new();
+        let a0 = b.add_node(NodeClass::Stub { domain: 0, gateway: 0 });
+        let a1 = b.add_node(NodeClass::Stub { domain: 0, gateway: 0 });
+        let b0 = b.add_node(NodeClass::Stub { domain: 1, gateway: 1 });
+        let b1 = b.add_node(NodeClass::Stub { domain: 1, gateway: 1 });
+        b.add_link(a0, a1, 5, LinkClass::StubStub);
+        b.add_link(b0, b1, 5, LinkClass::StubStub);
+        (b.build(), vec![a0, a1, b0, b1])
     }
 
     #[test]
@@ -203,5 +543,121 @@ mod tests {
         for i in 0..10 {
             assert_eq!(a.host(i), b.host(i));
         }
+    }
+
+    #[test]
+    fn default_config_routes_small_populations_to_dense() {
+        let o = tiny_oracle(10, 9);
+        assert_eq!(o.tier(), "dense");
+        assert!(o.cache_stats().is_none());
+    }
+
+    #[test]
+    fn cached_config_routes_to_row_cache() {
+        let o = tiny_cached(10, 9, 1 << 20);
+        assert_eq!(o.tier(), "row-cache");
+        assert!(o.cache_stats().is_some());
+    }
+
+    #[test]
+    fn cached_tier_matches_dense_tier() {
+        let dense = tiny_oracle(20, 10);
+        let cached = tiny_cached(20, 10, 1 << 20);
+        assert_eq!(dense.len(), cached.len());
+        for a in 0..20 {
+            assert_eq!(dense.host(a), cached.host(a));
+            for b in 0..20 {
+                assert_eq!(dense.d(a, b), cached.d(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn cached_tier_counts_hits_and_misses() {
+        let o = tiny_cached(10, 11, 1 << 20);
+        let s0 = o.cache_stats().unwrap();
+        let first = o.d(3, 4); // row 3 computed
+        let again = o.d(3, 5); // row 3 hit
+        assert!(first > 0 && again > 0);
+        let s = o.cache_stats().unwrap().since(&s0);
+        assert_eq!(s.misses, 1);
+        assert!(s.hits >= 1);
+    }
+
+    #[test]
+    fn warm_rows_makes_queries_hits() {
+        let o = tiny_cached(12, 12, 1 << 20);
+        o.warm_rows(&(0..12).collect::<Vec<_>>());
+        let warmed = o.cache_stats().unwrap();
+        assert_eq!(warmed.resident_rows, 12);
+        for a in 0..12 {
+            for b in 0..12 {
+                let _ = o.d(a, b);
+            }
+        }
+        let s = o.cache_stats().unwrap().since(&warmed);
+        assert_eq!(s.misses, 0, "fully warmed cache answers without Dijkstra");
+    }
+
+    #[test]
+    fn tiny_capacity_evicts_but_stays_correct() {
+        let n = 12;
+        // Room for ~2 rows per shard with 1 shard: constant churn.
+        let mut rng = SimRng::seed_from(13);
+        let g = generate(&TransitStubParams::tiny(), &mut rng);
+        let cfg =
+            OracleConfig { dense_threshold: 0, cache_capacity_bytes: 2 * n * 4, cache_shards: 1 };
+        let cached = LatencyOracle::select_and_build_with(&g, n, &mut rng, &cfg);
+        let mut rng2 = SimRng::seed_from(13);
+        let g2 = generate(&TransitStubParams::tiny(), &mut rng2);
+        let dense = LatencyOracle::select_and_build(&g2, n, &mut rng2);
+        for pass in 0..3 {
+            for a in 0..n {
+                for b in 0..n {
+                    assert_eq!(cached.d(a, b), dense.d(a, b), "pass {pass}, pair ({a},{b})");
+                }
+            }
+        }
+        let s = cached.cache_stats().unwrap();
+        assert!(s.evictions > 0, "tiny capacity must evict");
+        assert!(s.resident_bytes <= s.capacity_bytes);
+    }
+
+    #[test]
+    fn try_build_reports_offending_pair_dense() {
+        let (g, members) = disconnected_graph();
+        let err = LatencyOracle::try_build(&g, members.clone()).unwrap_err();
+        // Some member of component A cannot reach some member of component B.
+        assert_ne!(err.from_member, err.to_member);
+        let (a_side, b_side) = (err.from_member < 2, err.to_member < 2);
+        assert_ne!(a_side, b_side, "pair must straddle the two components");
+        assert_eq!(err.from_host, members[err.from_member]);
+        assert_eq!(err.to_host, members[err.to_member]);
+    }
+
+    #[test]
+    fn try_build_reports_offending_pair_cached() {
+        let (g, members) = disconnected_graph();
+        let err =
+            LatencyOracle::try_build_with(&g, members, &OracleConfig::cached(1 << 20)).unwrap_err();
+        assert_eq!(err.from_member, 0, "cached tier validates from the first member");
+        assert!(err.to_member >= 2, "components straddled");
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected member set")]
+    fn build_panics_on_disconnection() {
+        let (g, members) = disconnected_graph();
+        let _ = LatencyOracle::build(&g, members);
+    }
+
+    #[test]
+    fn cached_mean_pairwise_estimate_is_close() {
+        let dense = tiny_oracle(30, 14);
+        let cached = tiny_cached(30, 14, 1 << 20);
+        let exact = dense.mean_pairwise_latency();
+        let est = cached.mean_pairwise_latency();
+        // 30 ≤ 64 sources ⇒ the "estimate" covers every row and is exact.
+        assert!((exact - est).abs() < 1e-9, "exact {exact}, estimate {est}");
     }
 }

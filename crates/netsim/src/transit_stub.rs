@@ -97,6 +97,24 @@ impl TransitStubParams {
         }
     }
 
+    /// A parameterization with *at least* `min_stub_hosts` stub hosts, for
+    /// runs beyond the paper's ~1,000-member scale (the ROADMAP's
+    /// production-scale north star). Keeps the `ts_large` backbone (50
+    /// transit nodes, 3 stub domains each) and widens the stub domains; the
+    /// extra-edge probability is lowered so edge counts — and therefore
+    /// Dijkstra cost per latency-oracle row — stay near-linear in the host
+    /// count.
+    pub fn scaled(min_stub_hosts: usize) -> Self {
+        let base = Self::ts_large();
+        let stub_domains =
+            base.transit_domains * base.transit_nodes_per_domain * base.stub_domains_per_transit;
+        TransitStubParams {
+            nodes_per_stub_domain: min_stub_hosts.div_ceil(stub_domains).max(1),
+            extra_stub_edge: 0.002,
+            ..base
+        }
+    }
+
     /// Total number of hosts this parameterization produces.
     pub fn total_nodes(&self) -> usize {
         let transit = self.transit_domains * self.transit_nodes_per_domain;
@@ -187,9 +205,7 @@ pub fn generate(params: &TransitStubParams, rng: &mut SimRng) -> PhysGraph {
     for &gateway in &transit_nodes {
         for _ in 0..params.stub_domains_per_transit {
             let hosts: Vec<PhysNodeId> = (0..params.nodes_per_stub_domain)
-                .map(|_| {
-                    b.add_node(NodeClass::Stub { domain: stub_domain_id, gateway: gateway.0 })
-                })
+                .map(|_| b.add_node(NodeClass::Stub { domain: stub_domain_id, gateway: gateway.0 }))
                 .collect();
             connect_random(
                 &mut b,
@@ -292,6 +308,23 @@ mod tests {
                 assert_eq!(w, expected);
             }
         }
+    }
+
+    #[test]
+    fn scaled_meets_requested_stub_population() {
+        for want in [1, 3_000, 20_000, 100_000] {
+            let p = TransitStubParams::scaled(want);
+            let transit = p.transit_domains * p.transit_nodes_per_domain;
+            assert!(p.total_nodes() - transit >= want, "asked {want}");
+        }
+        // Generation at a beyond-paper scale stays tractable and connected.
+        let p = TransitStubParams::scaled(10_000);
+        let g = generate(&p, &mut SimRng::seed_from(11));
+        assert!(g.stub_nodes().len() >= 10_000);
+        assert!(g.is_connected());
+        // Edge count stays near-linear in hosts (Dijkstra cost per oracle
+        // row depends on it).
+        assert!(g.num_links() < 3 * g.num_nodes());
     }
 
     #[test]

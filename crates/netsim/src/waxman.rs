@@ -61,7 +61,8 @@ pub fn generate_waxman(params: &WaxmanParams, rng: &mut SimRng) -> PhysGraph {
         let (dx, dy) = (pts[i].0 - pts[j].0, pts[i].1 - pts[j].1);
         (dx * dx + dy * dy).sqrt()
     };
-    let latency = |d: f64| -> u32 { ((d / l) * params.max_latency_ms as f64).ceil().max(1.0) as u32 };
+    let latency =
+        |d: f64| -> u32 { ((d / l) * params.max_latency_ms as f64).ceil().max(1.0) as u32 };
 
     // Probabilistic Waxman edges, with the union-find built as we go (the
     // PhysGraphBuilder's `has_link` is a linear scan — never use it in an

@@ -1,0 +1,148 @@
+//! Tier-equivalence property tests: the row-cache oracle tier must be
+//! observationally identical to the dense tier — the same `u32` latency
+//! for every ordered pair — on any topology, member subset, and cache
+//! capacity, including capacities tiny enough to evict rows between
+//! queries and force recomputation.
+
+use prop_engine::SimRng;
+use prop_netsim::waxman::{generate_waxman, WaxmanParams};
+use prop_netsim::{
+    generate, LatencyOracle, OracleConfig, PhysGraph, PhysNodeId, TransitStubParams,
+};
+use proptest::test_runner::Config as ProptestConfig;
+use proptest::{prop_assert_eq, proptest};
+
+fn ts_params(
+    domains: usize,
+    transit: usize,
+    stubs: usize,
+    hosts: usize,
+    extra: f64,
+) -> TransitStubParams {
+    TransitStubParams {
+        transit_domains: domains,
+        transit_nodes_per_domain: transit,
+        stub_domains_per_transit: stubs,
+        nodes_per_stub_domain: hosts,
+        extra_domain_edge: extra,
+        extra_transit_edge: extra,
+        extra_stub_edge: extra / 4.0,
+        transit_transit_ms: 100,
+        stub_transit_ms: 20,
+        stub_stub_ms: 5,
+    }
+}
+
+fn pick_members(g: &PhysGraph, want: usize, rng: &mut SimRng) -> Vec<PhysNodeId> {
+    let stubs = g.stub_nodes();
+    rng.sample_distinct(&stubs, want.clamp(2, stubs.len()))
+}
+
+/// Build both tiers over the same member set and assert every ordered
+/// pair agrees, across three query passes (cold, re-queried, reversed) so
+/// tiny caches have evicted and recomputed most rows by the end.
+fn assert_tiers_agree(
+    g: &PhysGraph,
+    members: Vec<PhysNodeId>,
+    cache_capacity: usize,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let dense = LatencyOracle::try_build_with(g, members.clone(), &OracleConfig::dense())
+        .expect("connected member set");
+    let cached = LatencyOracle::try_build_with(g, members, &OracleConfig::cached(cache_capacity))
+        .expect("connected member set");
+    prop_assert_eq!(dense.tier(), "dense");
+    prop_assert_eq!(cached.tier(), "row-cache");
+    let n = dense.len();
+
+    for a in 0..n {
+        for b in 0..n {
+            prop_assert_eq!(dense.d(a, b), cached.d(a, b), "cold pass ({}, {})", a, b);
+        }
+    }
+    // Re-query in the same order: rows may now come from cache (or have
+    // been evicted by later rows of the first pass).
+    for a in 0..n {
+        for b in 0..n {
+            prop_assert_eq!(dense.d(a, b), cached.d(a, b), "warm pass ({}, {})", a, b);
+        }
+    }
+    // Reversed order maximizes eviction churn under a tiny capacity.
+    for a in (0..n).rev() {
+        for b in (0..n).rev() {
+            prop_assert_eq!(dense.d(a, b), cached.d(a, b), "reverse pass ({}, {})", a, b);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Dense and row-cache tiers agree on random transit–stub topologies,
+    /// at cache capacities from "one row per shard" up to "everything
+    /// resident".
+    #[test]
+    fn tiers_agree_on_transit_stub(
+        domains in 1usize..4,
+        transit in 1usize..4,
+        stubs in 1usize..3,
+        hosts in 2usize..8,
+        members in 2usize..14,
+        cap_bytes in 64usize..(64 << 10),
+        seed in 0u64..10_000,
+    ) {
+        let p = ts_params(domains, transit, stubs, hosts, 0.25);
+        let mut rng = SimRng::seed_from(seed);
+        let g = generate(&p, &mut rng);
+        let m = pick_members(&g, members, &mut rng);
+        assert_tiers_agree(&g, m, cap_bytes)?;
+    }
+
+    /// Same agreement on flat Waxman graphs (different latency
+    /// distribution and degree structure than transit–stub).
+    #[test]
+    fn tiers_agree_on_waxman(
+        nodes in 4usize..90,
+        alpha in 0.05f64..0.7,
+        beta in 0.1f64..0.6,
+        members in 2usize..14,
+        cap_bytes in 64usize..(64 << 10),
+        seed in 0u64..10_000,
+    ) {
+        let p = WaxmanParams { nodes, alpha, beta, max_latency_ms: 120 };
+        let mut rng = SimRng::seed_from(seed);
+        let g = generate_waxman(&p, &mut rng);
+        let m = pick_members(&g, members, &mut rng);
+        assert_tiers_agree(&g, m, cap_bytes)?;
+    }
+}
+
+/// Deterministic eviction regression: a capacity that can hold only one
+/// row per shard must still answer identically to dense, and must
+/// actually evict (the equivalence above would be vacuous if the tiny
+/// caps never churned).
+#[test]
+fn tiny_cache_evicts_and_still_agrees() {
+    let p = ts_params(2, 2, 2, 6, 0.3);
+    let mut rng = SimRng::seed_from(77);
+    let g = generate(&p, &mut rng);
+    let members = pick_members(&g, 24, &mut rng);
+    let n = members.len();
+    let dense = LatencyOracle::try_build_with(&g, members.clone(), &OracleConfig::dense()).unwrap();
+    // Row = 4n bytes; a 4n-byte-total budget over the default shard count
+    // leaves each shard pinned at its single most recent row.
+    let cached = LatencyOracle::try_build_with(&g, members, &OracleConfig::cached(4 * n)).unwrap();
+    for pass in 0..3 {
+        for a in 0..n {
+            for b in 0..n {
+                assert_eq!(dense.d(a, b), cached.d(a, b), "pass {pass} pair ({a}, {b})");
+            }
+        }
+    }
+    let stats = cached.cache_stats().expect("row-cache tier");
+    assert!(stats.evictions > 0, "tiny cache never evicted: {stats:?}");
+    assert!(
+        stats.resident_bytes <= stats.capacity_bytes.max(4 * n * 16),
+        "residency above budget: {stats:?}"
+    );
+}

@@ -129,10 +129,7 @@ impl Can {
         zones.push(Zone::unit());
         for &p in join_points.iter().skip(1) {
             // Find the zone containing p (ties broken by first match).
-            let host = zones
-                .iter()
-                .position(|z| z.contains(p))
-                .expect("unit torus fully tiled");
+            let host = zones.iter().position(|z| z.contains(p)).expect("unit torus fully tiled");
             let z = zones[host];
             // Split along the longer dimension (keeps zones square-ish).
             let k = if z.extent(0) >= z.extent(1) { 0 } else { 1 };
@@ -243,14 +240,12 @@ mod tests {
     fn zones_tile_the_torus() {
         let (can, _) = build(25, 1);
         // Total area is 1 and zones are disjoint (area check + point probes).
-        let area: f64 =
-            can.zones.iter().map(|z| z.extent(0) * z.extent(1)).sum();
+        let area: f64 = can.zones.iter().map(|z| z.extent(0) * z.extent(1)).sum();
         assert!((area - 1.0).abs() < 1e-9, "area {area}");
         let mut rng = SimRng::seed_from(99);
         for _ in 0..200 {
             let p = [rng.unit(), rng.unit()];
-            let owners =
-                can.zones.iter().filter(|z| z.contains(p)).count();
+            let owners = can.zones.iter().filter(|z| z.contains(p)).count();
             assert_eq!(owners, 1, "point {p:?} owned by {owners} zones");
         }
     }

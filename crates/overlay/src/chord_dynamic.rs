@@ -88,10 +88,8 @@ impl DynamicChord {
 
     /// The live slot owning `key` (its successor on the ring).
     pub fn owner_of(&self, key: u64) -> Slot {
-        let pos = self
-            .ring
-            .partition_point(|t| self.ids[t.index()].unwrap() < key)
-            % self.ring.len();
+        let pos =
+            self.ring.partition_point(|t| self.ids[t.index()].unwrap() < key) % self.ring.len();
         self.ring[pos]
     }
 
@@ -123,9 +121,7 @@ impl DynamicChord {
             let my_id = self.ids[s.index()].unwrap();
             for i in 0..64 {
                 let target = my_id.wrapping_add(1u64 << i);
-                let pos = ring
-                    .partition_point(|t| self.ids[t.index()].unwrap() < target)
-                    % n;
+                let pos = ring.partition_point(|t| self.ids[t.index()].unwrap() < target) % n;
                 let e = ring[pos];
                 if e != s {
                     entries.push(e);

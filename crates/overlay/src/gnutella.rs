@@ -177,8 +177,11 @@ mod tests {
     fn preferential_attachment_skews_degrees() {
         let mut rng = SimRng::seed_from(2);
         let o = oracle(40, 2);
-        let (_, pref) =
-            Gnutella::build(GnutellaParams { preferential: true, ..Default::default() }, Arc::clone(&o), &mut rng);
+        let (_, pref) = Gnutella::build(
+            GnutellaParams { preferential: true, ..Default::default() },
+            Arc::clone(&o),
+            &mut rng,
+        );
         let seq = pref.graph().degree_sequence();
         // Max degree should noticeably exceed the per-join link count.
         assert!(*seq.last().unwrap() > 6, "degree sequence {seq:?}");
@@ -249,11 +252,7 @@ mod tests {
         let mut rng = SimRng::seed_from(7);
         let (gn, mut net) = Gnutella::build(GnutellaParams::default(), oracle(40, 7), &mut rng);
         // Remove the highest-degree slot.
-        let hub = net
-            .graph()
-            .live_slots()
-            .max_by_key(|&s| net.graph().degree(s))
-            .unwrap();
+        let hub = net.graph().live_slots().max_by_key(|&s| net.graph().degree(s)).unwrap();
         gn.leave(&mut net, hub, &mut rng);
         assert!(net.graph().is_connected());
     }

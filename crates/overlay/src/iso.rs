@@ -65,11 +65,7 @@ pub fn reference_propg_exchange(
 /// Does `phi` (a permutation of `0..n`, slot-indexed) map graph `a` onto
 /// graph `b` edge-for-edge? Both graphs are given as sorted edge sets over
 /// `Slot`-compatible indices.
-pub fn is_isomorphic_via(
-    a: &BTreeSet<(u32, u32)>,
-    b: &BTreeSet<(u32, u32)>,
-    phi: &[u32],
-) -> bool {
+pub fn is_isomorphic_via(a: &BTreeSet<(u32, u32)>, b: &BTreeSet<(u32, u32)>, phi: &[u32]) -> bool {
     if a.len() != b.len() {
         return false;
     }

@@ -220,8 +220,7 @@ mod tests {
         }
         let mut rng = SimRng::seed_from(2);
         for _ in 0..50 {
-            let key =
-                ((rng.range(0..u64::MAX) as u128) << 64) | rng.range(0..u64::MAX) as u128;
+            let key = ((rng.range(0..u64::MAX) as u128) << 64) | rng.range(0..u64::MAX) as u128;
             let owner = kad.owner_of(key);
             let od = kad.id(owner) ^ key;
             for s in 0..25u32 {
@@ -246,10 +245,7 @@ mod tests {
                 }
             }
         }
-        assert!(
-            ok as f64 / total as f64 > 0.99,
-            "delivery {ok}/{total}"
-        );
+        assert!(ok as f64 / total as f64 > 0.99, "delivery {ok}/{total}");
     }
 
     #[test]
@@ -288,8 +284,7 @@ mod tests {
     #[test]
     fn buckets_respect_capacity() {
         let mut rng = SimRng::seed_from(6);
-        let (kad, _) =
-            Kademlia::build(KademliaParams { k: 2 }, oracle(30, 6), &mut rng);
+        let (kad, _) = Kademlia::build(KademliaParams { k: 2 }, oracle(30, 6), &mut rng);
         // With k = 2, every (node, bit) bucket holds ≤ 2 contacts.
         for s in 0..30u32 {
             let mut per_bit: std::collections::HashMap<u32, usize> =
@@ -317,14 +312,12 @@ mod tests {
     #[test]
     fn prop_g_swaps_keep_routes_identical() {
         let (kad, mut net) = build(30, 8);
-        let before: Vec<Option<u32>> = (0..30)
-            .map(|b| kad.lookup(&net, Slot(0), Slot(b)).map(|o| o.hops))
-            .collect();
+        let before: Vec<Option<u32>> =
+            (0..30).map(|b| kad.lookup(&net, Slot(0), Slot(b)).map(|o| o.hops)).collect();
         net.swap_peers(Slot(3), Slot(22));
         net.swap_peers(Slot(9), Slot(14));
-        let after: Vec<Option<u32>> = (0..30)
-            .map(|b| kad.lookup(&net, Slot(0), Slot(b)).map(|o| o.hops))
-            .collect();
+        let after: Vec<Option<u32>> =
+            (0..30).map(|b| kad.lookup(&net, Slot(0), Slot(b)).map(|o| o.hops)).collect();
         assert_eq!(before, after);
     }
 

@@ -27,9 +27,9 @@ pub mod can;
 pub mod chord;
 pub mod chord_dynamic;
 pub mod gnutella;
+pub mod iso;
 pub mod kademlia;
 pub mod logical;
-pub mod iso;
 pub mod net;
 pub mod pastry;
 pub mod placement;

@@ -121,8 +121,7 @@ impl LogicalGraph {
 
     /// Remove edge `a–b`. Panics if absent.
     pub fn remove_edge(&mut self, a: Slot, b: Slot) {
-        let pos_a = self
-            .adj[a.index()]
+        let pos_a = self.adj[a.index()]
             .binary_search(&b)
             .unwrap_or_else(|_| panic!("removing missing edge {a:?}–{b:?}"));
         self.adj[a.index()].remove(pos_a);
@@ -147,10 +146,7 @@ impl LogicalGraph {
 
     /// Iterator over live slots.
     pub fn live_slots(&self) -> impl Iterator<Item = Slot> + '_ {
-        self.alive
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &a)| a.then_some(Slot(i as u32)))
+        self.alive.iter().enumerate().filter_map(|(i, &a)| a.then_some(Slot(i as u32)))
     }
 
     /// All undirected edges `(a, b)` with `a < b`.

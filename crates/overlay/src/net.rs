@@ -71,6 +71,22 @@ impl OverlayNet {
         &self.oracle
     }
 
+    /// Batch-warm the oracle rows for the peers occupying `slots` (no-op on
+    /// the dense tier, Rayon-parallel Dijkstras on the row-cache tier).
+    /// Call before a burst of latency queries over a known slot set — e.g.
+    /// a measurement sweep at 100k members — to turn the misses into
+    /// parallel work instead of serial on-demand stalls.
+    pub fn warm_latency_rows(&self, slots: &[Slot]) {
+        let peers: Vec<MemberIdx> = slots.iter().map(|&s| self.placement.peer(s)).collect();
+        self.oracle.warm_rows(&peers);
+    }
+
+    /// Hit/miss/eviction counters of the oracle's row cache; `None` while
+    /// the dense tier is live.
+    pub fn oracle_cache_stats(&self) -> Option<prop_netsim::CacheStats> {
+        self.oracle.cache_stats()
+    }
+
     /// The peer at a live slot.
     #[inline]
     pub fn peer(&self, s: Slot) -> MemberIdx {
@@ -226,8 +242,7 @@ mod tests {
     fn neighbor_latency_sum_matches_manual() {
         let (net, _) = small_net(6, 2);
         let s = Slot(2);
-        let manual: u64 =
-            net.graph().neighbors(s).iter().map(|&x| net.d(s, x) as u64).sum();
+        let manual: u64 = net.graph().neighbors(s).iter().map(|&x| net.d(s, x) as u64).sum();
         assert_eq!(net.neighbor_latency_sum(s), manual);
     }
 
@@ -237,8 +252,7 @@ mod tests {
         let by_edges: u64 = net.graph().edges().map(|(a, b)| net.d(a, b) as u64).sum();
         assert_eq!(net.total_link_latency(), by_edges);
         // Sum over per-node sums double counts:
-        let per_node: u64 =
-            net.graph().live_slots().map(|s| net.neighbor_latency_sum(s)).sum();
+        let per_node: u64 = net.graph().live_slots().map(|s| net.neighbor_latency_sum(s)).sum();
         assert_eq!(per_node, 2 * by_edges);
     }
 
@@ -288,7 +302,10 @@ mod tests {
         'outer: for a in 0..10 {
             for b in 0..10 {
                 for c in 0..10 {
-                    if a != b && b != c && a != c && oracle.d(a, c) > oracle.d(a, b) + oracle.d(b, c)
+                    if a != b
+                        && b != c
+                        && a != c
+                        && oracle.d(a, c) > oracle.d(a, b) + oracle.d(b, c)
                     {
                         found = Some((a, b, c));
                         break 'outer;
@@ -305,8 +322,7 @@ mod tests {
         g.add_edge(Slot(b as u32), Slot(c as u32));
         g.add_edge(Slot(a as u32), Slot(c as u32));
         let net = OverlayNet::new(g, Placement::identity(10), oracle);
-        let (lat, _) =
-            net.min_latency_within_hops(Slot(a as u32), Slot(c as u32), 7).unwrap();
+        let (lat, _) = net.min_latency_within_hops(Slot(a as u32), Slot(c as u32), 7).unwrap();
         assert!(lat <= net.d(Slot(a as u32), Slot(c as u32)) as u64);
     }
 

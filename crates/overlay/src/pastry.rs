@@ -249,11 +249,7 @@ impl Pastry {
             let cur_id = self.ids[cur.index()];
             let l = cur_id.shared_prefix(key);
             // 1. Exact prefix-table hop.
-            let next = if l < NUM_DIGITS {
-                self.table_entry(cur, l, key.digit(l))
-            } else {
-                None
-            };
+            let next = if l < NUM_DIGITS { self.table_entry(cur, l, key.digit(l)) } else { None };
             // 2. Fallback: anyone known (leaves ∪ table) strictly closer
             //    numerically with at least as long a prefix — the rare case
             //    of the Pastry paper. The leaf set always contains a
@@ -392,10 +388,8 @@ mod tests {
         // Every node's closest numeric neighbor must be in its leaf set.
         for s in 0..20u32 {
             let me = p.id(Slot(s));
-            let closest = (0..20u32)
-                .filter(|&t| t != s)
-                .min_by_key(|&t| p.id(Slot(t)).distance(me))
-                .unwrap();
+            let closest =
+                (0..20u32).filter(|&t| t != s).min_by_key(|&t| p.id(Slot(t)).distance(me)).unwrap();
             assert!(
                 p.leaf_set(Slot(s)).contains(&Slot(closest)),
                 "slot {s}: closest {closest} missing from leaf set"
@@ -442,12 +436,10 @@ mod tests {
     fn custom_selector_still_routes_correctly() {
         let mut rng = SimRng::seed_from(9);
         let o = oracle(25, 9);
-        let (p, net) = Pastry::build_with_selector(
-            PastryParams::default(),
-            o,
-            &mut rng,
-            |_, cands| *cands.last().unwrap(),
-        );
+        let (p, net) =
+            Pastry::build_with_selector(PastryParams::default(), o, &mut rng, |_, cands| {
+                *cands.last().unwrap()
+            });
         for b in 0..25u32 {
             let out = p.lookup(&net, Slot(3), Slot(b)).unwrap();
             assert!(out.hops <= 25);

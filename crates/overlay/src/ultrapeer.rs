@@ -44,12 +44,7 @@ pub struct UltrapeerParams {
 
 impl Default for UltrapeerParams {
     fn default() -> Self {
-        UltrapeerParams {
-            ultrapeer_fraction: 0.2,
-            mesh_links: 4,
-            leaf_links: 2,
-            flood_ttl: 5,
-        }
+        UltrapeerParams { ultrapeer_fraction: 0.2, mesh_links: 4, leaf_links: 2, flood_ttl: 5 }
     }
 }
 
@@ -239,9 +234,11 @@ mod tests {
                     continue;
                 }
                 let (_, hops) = up.flood_latency(&net, Slot(a), Slot(b)).unwrap();
-                let share_up = net.graph().neighbors(Slot(a)).iter().any(|&x| {
-                    net.graph().has_edge(x, Slot(b))
-                });
+                let share_up = net
+                    .graph()
+                    .neighbors(Slot(a))
+                    .iter()
+                    .any(|&x| net.graph().has_edge(x, Slot(b)));
                 if share_up {
                     assert!(hops >= 2);
                 } else {

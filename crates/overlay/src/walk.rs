@@ -52,12 +52,8 @@ pub fn random_walk(
     path.push(first_hop);
     let mut cur = first_hop;
     for _ in 1..nhops {
-        let candidates: Vec<Slot> = g
-            .neighbors(cur)
-            .iter()
-            .copied()
-            .filter(|n| !path.contains(n))
-            .collect();
+        let candidates: Vec<Slot> =
+            g.neighbors(cur).iter().copied().filter(|n| !path.contains(n)).collect();
         match rng.pick(&candidates) {
             Some(&next) => {
                 path.push(next);

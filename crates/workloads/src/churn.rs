@@ -67,7 +67,11 @@ impl ChurnTrace {
     }
 
     /// Events within `[from, to)`.
-    pub fn in_window(&self, from: SimTime, to: SimTime) -> impl Iterator<Item = (SimTime, ChurnOp)> + '_ {
+    pub fn in_window(
+        &self,
+        from: SimTime,
+        to: SimTime,
+    ) -> impl Iterator<Item = (SimTime, ChurnOp)> + '_ {
         self.events.iter().copied().filter(move |&(t, _)| t >= from && t < to)
     }
 }
@@ -93,7 +97,8 @@ mod tests {
     #[test]
     fn rates_roughly_respected() {
         let mut rng = SimRng::seed_from(2);
-        let trace = ChurnTrace::poisson(SimTime::ZERO, Duration::from_minutes(1000), 3.0, 1.0, &mut rng);
+        let trace =
+            ChurnTrace::poisson(SimTime::ZERO, Duration::from_minutes(1000), 3.0, 1.0, &mut rng);
         let leaves = trace.events.iter().filter(|&&(_, op)| op == ChurnOp::Leave).count();
         let joins = trace.len() - leaves;
         let leave_rate = leaves as f64 / 1000.0;
@@ -105,7 +110,8 @@ mod tests {
     #[test]
     fn zero_rate_means_no_events() {
         let mut rng = SimRng::seed_from(3);
-        let trace = ChurnTrace::poisson(SimTime::ZERO, Duration::from_minutes(60), 0.0, 0.0, &mut rng);
+        let trace =
+            ChurnTrace::poisson(SimTime::ZERO, Duration::from_minutes(60), 0.0, 0.0, &mut rng);
         assert!(trace.is_empty());
     }
 

@@ -81,11 +81,17 @@ mod tests {
 
     #[test]
     fn extreme_fractions() {
-        let all_fast =
-            assign(&BimodalParams { fast_fraction: 1.0, ..Default::default() }, 30, &mut SimRng::seed_from(3));
+        let all_fast = assign(
+            &BimodalParams { fast_fraction: 1.0, ..Default::default() },
+            30,
+            &mut SimRng::seed_from(3),
+        );
         assert_eq!(all_fast.num_fast(), 30);
-        let none_fast =
-            assign(&BimodalParams { fast_fraction: 0.0, ..Default::default() }, 30, &mut SimRng::seed_from(3));
+        let none_fast = assign(
+            &BimodalParams { fast_fraction: 0.0, ..Default::default() },
+            30,
+            &mut SimRng::seed_from(3),
+        );
         assert_eq!(none_fast.num_fast(), 0);
     }
 

@@ -106,10 +106,7 @@ mod tests {
         for &frac in &[0.0, 0.5, 1.0] {
             let pairs = g.skewed_pairs(&pool, is_fast, frac, 4000);
             let hits = pairs.iter().filter(|&&(_, d)| is_fast(d)).count() as f64 / 4000.0;
-            assert!(
-                (hits - frac).abs() < 0.03,
-                "frac {frac}: observed {hits}"
-            );
+            assert!((hits - frac).abs() < 0.03, "frac {frac}: observed {hits}");
         }
     }
 

@@ -62,9 +62,6 @@ fn main() {
 }
 
 fn mean_hops(net: &OverlayNet, chord: &Chord, pairs: &[(Slot, Slot)]) -> f64 {
-    let total: u64 = pairs
-        .iter()
-        .map(|&(a, b)| chord.lookup(net, a, b).unwrap().hops as u64)
-        .sum();
+    let total: u64 = pairs.iter().map(|&(a, b)| chord.lookup(net, a, b).unwrap().hops as u64).sum();
     total as f64 / pairs.len() as f64
 }

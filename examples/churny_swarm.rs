@@ -27,9 +27,13 @@ fn main() {
 
     // Churn storm: minutes 30–60, ~4 leaves + 4 joins per minute.
     let storm_start = SimTime::ZERO + Duration::from_minutes(30);
-    let trace = ChurnTrace::poisson(storm_start, Duration::from_minutes(30), 4.0, 4.0, &mut churn_rng);
+    let trace =
+        ChurnTrace::poisson(storm_start, Duration::from_minutes(30), 4.0, 4.0, &mut churn_rng);
     println!("churn storm: {} events between minute 30 and 60\n", trace.len());
-    println!("{:>6} {:>10} {:>14} {:>8} {:>10}", "min", "stretch", "trials/min", "peers", "connected");
+    println!(
+        "{:>6} {:>10} {:>14} {:>8} {:>10}",
+        "min", "stretch", "trials/min", "peers", "connected"
+    );
 
     let mut absent: Vec<usize> = Vec::new();
     let mut next = 0usize;

@@ -35,7 +35,8 @@ fn main() {
 
     let build = |seed: u64| {
         let mut rng = SimRng::seed_from(seed);
-        let (gn, mut net) = Gnutella::build(GnutellaParams::default(), Arc::clone(&oracle), &mut rng);
+        let (gn, mut net) =
+            Gnutella::build(GnutellaParams::default(), Arc::clone(&oracle), &mut rng);
         net.set_processing_delays(delays.clone());
         (gn, net, rng)
     };
@@ -45,12 +46,10 @@ fn main() {
     let live: Vec<Slot> = probe_net.graph().live_slots().collect();
     let pairs = LookupGen::new(&wl_rng).skewed_pairs(&live, is_fast, 0.8, 1500);
     let cv0 = degree_summary(probe_net.graph()).cv;
-    let base = avg_lookup_latency(&probe_net, &Gnutella { params: GnutellaParams::default() }, &pairs);
+    let base =
+        avg_lookup_latency(&probe_net, &Gnutella { params: GnutellaParams::default() }, &pairs);
     println!("unoptimized swarm: {:.1} ms mean lookup, degree CV {cv0:.3}\n", base.mean_ms);
-    println!(
-        "{:<10} {:>14} {:>12} {:>14}",
-        "scheme", "lookup (ms)", "vs base", "degree-CV drift"
-    );
+    println!("{:<10} {:>14} {:>12} {:>14}", "scheme", "lookup (ms)", "vs base", "degree-CV drift");
 
     // PROP-O — the paper's recommendation for heterogeneous swarms.
     {

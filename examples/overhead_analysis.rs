@@ -63,8 +63,5 @@ fn main() {
     println!("  worst case (warm-up):        {worst:.3e}");
     println!("  Markov model, q ∈ [0, 0.2]:  [{lo:.3e}, {hi:.3e}]");
     println!("  measured (maintenance hour): {measured_rate:.3e}");
-    assert!(
-        measured_rate < worst,
-        "maintenance probing must be slower than the warm-up rate"
-    );
+    assert!(measured_rate < worst, "maintenance probing must be slower than the warm-up rate");
 }

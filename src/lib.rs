@@ -60,8 +60,12 @@ pub mod prelude {
     pub use prop_baselines::{LtmConfig, LtmSim, PrsChord};
     pub use prop_core::{AsyncProtocolSim, Policy, ProbeMode, PropConfig, ProtocolSim};
     pub use prop_engine::{Duration, SimRng, SimTime};
-    pub use prop_metrics::{avg_lookup_latency, link_stretch, path_stretch, TimeSeries};
-    pub use prop_netsim::{generate, LatencyOracle, PhysGraph, TransitStubParams};
+    pub use prop_metrics::{
+        avg_lookup_latency, link_stretch, path_stretch, OracleCacheReport, TimeSeries,
+    };
+    pub use prop_netsim::{
+        generate, CacheStats, LatencyOracle, OracleConfig, PhysGraph, TransitStubParams,
+    };
     pub use prop_overlay::can::Can;
     pub use prop_overlay::chord::{Chord, ChordParams};
     pub use prop_overlay::chord_dynamic::DynamicChord;

@@ -62,12 +62,8 @@ fn rejoins_heal_a_crash_partition() {
     let mut crashed: Vec<usize> = Vec::new();
     let mut partitioned = false;
     for _ in 0..20 {
-        let hub = sim
-            .net()
-            .graph()
-            .live_slots()
-            .max_by_key(|&s| sim.net().graph().degree(s))
-            .unwrap();
+        let hub =
+            sim.net().graph().live_slots().max_by_key(|&s| sim.net().graph().degree(s)).unwrap();
         let peer = sim.net().peer(hub);
         let orphans = gn.crash(sim.net_mut(), hub);
         sim.handle_leave(hub, &orphans);

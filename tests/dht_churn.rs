@@ -55,8 +55,7 @@ fn propg_optimizes_a_churning_ring() {
     }
 
     // Measure stretch over pairs whose endpoints survived.
-    let live_final: std::collections::HashSet<Slot> =
-        sim.net().graph().live_slots().collect();
+    let live_final: std::collections::HashSet<Slot> = sim.net().graph().live_slots().collect();
     let surviving: Vec<(Slot, Slot)> = pairs
         .iter()
         .copied()

@@ -22,11 +22,8 @@ fn propo_improves_two_tier_lookups_and_keeps_the_architecture() {
     assert_eq!(before.failed, 0, "two-tier floods must deliver");
 
     // Leaf degrees before: exactly leaf_links each.
-    let leaf_degrees: Vec<usize> = live
-        .iter()
-        .filter(|&&s| !up.is_ultrapeer(s))
-        .map(|&s| net.graph().degree(s))
-        .collect();
+    let leaf_degrees: Vec<usize> =
+        live.iter().filter(|&&s| !up.is_ultrapeer(s)).map(|&s| net.graph().degree(s)).collect();
 
     let mut rng2 = SimRng::seed_from(2);
     let mut sim = ProtocolSim::new(net, PropConfig::prop_o(), &mut rng2);
@@ -41,11 +38,8 @@ fn propo_improves_two_tier_lookups_and_keeps_the_architecture() {
         after.mean_ms
     );
     // The bimodal degree architecture survives PROP-O exactly.
-    let leaf_degrees_after: Vec<usize> = live
-        .iter()
-        .filter(|&&s| !up.is_ultrapeer(s))
-        .map(|&s| net.graph().degree(s))
-        .collect();
+    let leaf_degrees_after: Vec<usize> =
+        live.iter().filter(|&&s| !up.is_ultrapeer(s)).map(|&s| net.graph().degree(s)).collect();
     assert_eq!(leaf_degrees, leaf_degrees_after);
     assert!(net.graph().is_connected());
 }
@@ -66,12 +60,7 @@ fn propg_improves_two_tier_lookups_with_identical_topology() {
 
     assert_eq!(edges, net.graph().edges().collect::<Vec<_>>());
     let after = avg_lookup_latency(&net, &up, &pairs);
-    assert!(
-        after.mean_ms < before.mean_ms,
-        "{:.1} → {:.1}",
-        before.mean_ms,
-        after.mean_ms
-    );
+    assert!(after.mean_ms < before.mean_ms, "{:.1} → {:.1}", before.mean_ms, after.mean_ms);
     assert!(exchanges > 0);
 }
 
@@ -81,11 +70,7 @@ fn propg_swaps_capable_peers_into_the_mesh() {
     // and measure whether PROP-G reduces the mean latency between mesh
     // positions specifically — the tier that matters for query routing.
     let (up, net, _) = setup(200, 5);
-    let ups: Vec<Slot> = net
-        .graph()
-        .live_slots()
-        .filter(|&s| up.is_ultrapeer(s))
-        .collect();
+    let ups: Vec<Slot> = net.graph().live_slots().filter(|&s| up.is_ultrapeer(s)).collect();
     let mesh_latency = |net: &OverlayNet| -> f64 {
         let mut total = 0u64;
         let mut cnt = 0u64;
@@ -105,8 +90,5 @@ fn propg_swaps_capable_peers_into_the_mesh() {
     sim.run_for(Duration::from_minutes(90));
     let net = sim.into_net();
     let after = mesh_latency(&net);
-    assert!(
-        after < before,
-        "mesh-position pairwise latency should drop: {before:.1} → {after:.1}"
-    );
+    assert!(after < before, "mesh-position pairwise latency should drop: {before:.1} → {after:.1}");
 }
