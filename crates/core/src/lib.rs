@@ -26,10 +26,14 @@
 //!   with the Markov backoff timer.
 //! * [`sim`] — the event-driven driver that runs a whole overlay of PROP
 //!   nodes on the [`prop_engine`] kernel and exposes overhead counters.
+//! * [`fault`] — the fault-plane contract both drivers consult per message
+//!   (drop/duplicate/delay verdicts, crash visibility, fault counters);
+//!   the concrete injectors and scripted scenarios live in `prop-faults`.
 
 pub mod analysis;
 pub mod config;
 pub mod exchange;
+pub mod fault;
 pub mod forwarding;
 pub mod neighborq;
 pub mod protocol;
@@ -38,5 +42,6 @@ pub mod sim_async;
 
 pub use config::{Policy, ProbeMode, PropConfig};
 pub use exchange::{plan_exchange, ExchangePlan};
+pub use fault::{Delivery, FaultCounters, FaultPlane, MsgKind};
 pub use sim::{Overhead, ProtocolSim};
 pub use sim_async::{AsyncProtocolSim, AsyncStats};

@@ -17,6 +17,7 @@
 
 use crate::config::{ProbeMode, PropConfig};
 use crate::exchange::{self, PlanKind};
+use crate::fault::{FaultCounters, FaultPlane, MsgKind};
 use crate::protocol::NodeState;
 use prop_engine::{Duration, EventQueue, SimRng, SimTime};
 use prop_overlay::walk::{random_walk, WalkPath};
@@ -46,13 +47,15 @@ impl Overhead {
     }
 
     /// Counter-wise difference (`self` − `earlier`), for windowed rates.
+    /// Saturating: counters can reset below an old snapshot after a
+    /// crash/restart cycle, and a window report must not panic for it.
     pub fn since(&self, earlier: &Overhead) -> Overhead {
         Overhead {
-            trials: self.trials - earlier.trials,
-            exchanges: self.exchanges - earlier.exchanges,
-            walk_msgs: self.walk_msgs - earlier.walk_msgs,
-            probe_msgs: self.probe_msgs - earlier.probe_msgs,
-            notify_msgs: self.notify_msgs - earlier.notify_msgs,
+            trials: self.trials.saturating_sub(earlier.trials),
+            exchanges: self.exchanges.saturating_sub(earlier.exchanges),
+            walk_msgs: self.walk_msgs.saturating_sub(earlier.walk_msgs),
+            probe_msgs: self.probe_msgs.saturating_sub(earlier.probe_msgs),
+            notify_msgs: self.notify_msgs.saturating_sub(earlier.notify_msgs),
         }
     }
 }
@@ -71,6 +74,7 @@ pub struct ProtocolSim {
     /// Resolved δ(G) at start — the default PROP-O `m`.
     m_default: usize,
     overhead: Overhead,
+    plane: Option<Box<dyn FaultPlane>>,
 }
 
 impl ProtocolSim {
@@ -93,7 +97,31 @@ impl ProtocolSim {
                 nodes.push(None);
             }
         }
-        ProtocolSim { net, cfg, nodes, events, rng, m_default, overhead: Overhead::default() }
+        ProtocolSim {
+            net,
+            cfg,
+            nodes,
+            events,
+            rng,
+            m_default,
+            overhead: Overhead::default(),
+            plane: None,
+        }
+    }
+
+    /// Route all subsequent message traffic through `plane`. The trial is
+    /// atomic here, so only drop verdicts and crash visibility matter;
+    /// duplication and extra delay are no-ops for this driver (they change
+    /// in-flight time, which the synchronous model does not have).
+    pub fn set_fault_plane(&mut self, plane: Box<dyn FaultPlane>) {
+        self.plane = Some(plane);
+    }
+
+    /// Fault counters as of the current simulated time (`None` when no
+    /// plane is attached).
+    pub fn fault_counters(&mut self) -> Option<FaultCounters> {
+        let now = self.events.now();
+        self.plane.as_mut().map(|p| p.counters(now))
     }
 
     /// The overlay under optimization.
@@ -152,6 +180,16 @@ impl ProtocolSim {
         if self.nodes[slot.index()].is_none() || !self.net.graph().is_alive(slot) {
             return; // departed while the event was pending
         }
+        // A crashed host probes nothing; keep its event chain alive so
+        // probing resumes after restart.
+        let now = self.events.now();
+        let origin_peer = self.net.peer(slot);
+        if let Some(plane) = self.plane.as_mut() {
+            if !plane.is_up(now, origin_peer) {
+                self.reschedule(slot);
+                return;
+            }
+        }
 
         let (walk, first_hop) = match self.cfg.probe {
             ProbeMode::Walk { nhops } => {
@@ -193,6 +231,33 @@ impl ProtocolSim {
         };
 
         self.overhead.trials += 1;
+
+        // The whole §3.2 message sequence happens "at once" in this driver,
+        // so the plane rules on all four message kinds at the same instant:
+        // losing any of them (random loss, partition cut, crashed
+        // counterpart) turns the trial into a failure that feeds the
+        // Markov backoff, exactly like a fruitless probe.
+        if self.plane.is_some() {
+            let u = walk.path.first().copied().unwrap_or(slot);
+            let v = walk.path.last().copied().unwrap_or(slot);
+            if u != v {
+                let (up, vp) = (self.net.peer(u), self.net.peer(v));
+                let plane = self.plane.as_mut().unwrap();
+                let verdict = plane
+                    .deliver(now, MsgKind::Walk, up, vp)
+                    .merge(plane.deliver(now, MsgKind::Exchange, vp, up))
+                    .merge(plane.deliver(now, MsgKind::Probe, up, vp))
+                    .merge(plane.deliver(now, MsgKind::Commit, up, vp));
+                if !verdict.delivered {
+                    let cfg = self.cfg.clone();
+                    if let Some(state) = self.nodes[slot.index()].as_mut() {
+                        state.record_trial(&cfg, first_hop, false);
+                    }
+                    self.reschedule(slot);
+                    return;
+                }
+            }
+        }
 
         // A walk that could not reach its full TTL yields no counterpart.
         let full_len = match self.cfg.probe {

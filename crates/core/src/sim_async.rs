@@ -30,6 +30,7 @@
 
 use crate::config::{ProbeMode, PropConfig};
 use crate::exchange::{self, PlanKind};
+use crate::fault::{FaultCounters, FaultPlane, MsgKind};
 use crate::protocol::NodeState;
 use prop_engine::{Duration, EventQueue, SimRng, SimTime};
 use prop_overlay::walk::{random_walk, WalkPath};
@@ -48,13 +49,40 @@ pub struct AsyncStats {
     /// Trials aborted at commit because the overlay changed underneath
     /// them (counterpart gone, walk edge gone, plan no longer valid).
     pub stale_aborts: u64,
+    /// Trials that the fault plane killed: a walk/exchange/probe/commit
+    /// message dropped, or the counterpart crashed mid-flight. Each feeds
+    /// the origin's Markov backoff as a failed trial.
+    pub faulted: u64,
     /// Total simulated milliseconds of probe traffic (walk + RTTs).
     pub probe_time_ms: u64,
 }
 
+impl AsyncStats {
+    /// Counter-wise difference (`self` − `earlier`) for windowed rates,
+    /// saturating at zero so reporting survives counter resets after a
+    /// crash/restart cycle.
+    pub fn since(&self, earlier: &AsyncStats) -> AsyncStats {
+        AsyncStats {
+            launched: self.launched.saturating_sub(earlier.launched),
+            exchanges: self.exchanges.saturating_sub(earlier.exchanges),
+            no_gain: self.no_gain.saturating_sub(earlier.no_gain),
+            stale_aborts: self.stale_aborts.saturating_sub(earlier.stale_aborts),
+            faulted: self.faulted.saturating_sub(earlier.faulted),
+            probe_time_ms: self.probe_time_ms.saturating_sub(earlier.probe_time_ms),
+        }
+    }
+}
+
 enum Ev {
     Tick(Slot),
-    Commit { origin: Slot, walk: WalkPath },
+    /// `dup` marks the second copy of a duplicated handshake: it replays
+    /// commit revalidation (the interesting hazard) but neither counts as a
+    /// trial resolution nor forks the origin's tick chain.
+    Commit {
+        origin: Slot,
+        walk: WalkPath,
+        dup: bool,
+    },
 }
 
 /// An overlay of PROP nodes whose probes take network time.
@@ -66,6 +94,7 @@ pub struct AsyncProtocolSim {
     rng: SimRng,
     m_default: usize,
     stats: AsyncStats,
+    plane: Option<Box<dyn FaultPlane>>,
 }
 
 impl AsyncProtocolSim {
@@ -87,7 +116,29 @@ impl AsyncProtocolSim {
                 nodes.push(None);
             }
         }
-        AsyncProtocolSim { net, cfg, nodes, events, rng, m_default, stats: AsyncStats::default() }
+        AsyncProtocolSim {
+            net,
+            cfg,
+            nodes,
+            events,
+            rng,
+            m_default,
+            stats: AsyncStats::default(),
+            plane: None,
+        }
+    }
+
+    /// Route all subsequent message traffic through `plane`. Without a
+    /// plane the driver behaves exactly as before (perfect network).
+    pub fn set_fault_plane(&mut self, plane: Box<dyn FaultPlane>) {
+        self.plane = Some(plane);
+    }
+
+    /// Fault counters as of the current simulated time (`None` when no
+    /// plane is attached).
+    pub fn fault_counters(&mut self) -> Option<FaultCounters> {
+        let now = self.events.now();
+        self.plane.as_mut().map(|p| p.counters(now))
     }
 
     pub fn net(&self) -> &OverlayNet {
@@ -117,7 +168,7 @@ impl AsyncProtocolSim {
         while let Some((_, ev)) = self.events.pop_until(deadline) {
             match ev {
                 Ev::Tick(slot) => self.launch(slot),
-                Ev::Commit { origin, walk } => self.commit(origin, walk),
+                Ev::Commit { origin, walk, dup } => self.commit(origin, walk, dup),
             }
         }
     }
@@ -132,6 +183,16 @@ impl AsyncProtocolSim {
     fn launch(&mut self, slot: Slot) {
         if self.nodes[slot.index()].is_none() || !self.net.graph().is_alive(slot) {
             return;
+        }
+        // A crashed host launches nothing; keep its tick alive so probing
+        // resumes after restart.
+        let origin_peer = self.net.peer(slot);
+        let now = self.events.now();
+        if let Some(plane) = self.plane.as_mut() {
+            if !plane.is_up(now, origin_peer) {
+                self.reschedule(slot);
+                return;
+            }
         }
         let walk = match self.cfg.probe {
             ProbeMode::Walk { nhops } => {
@@ -160,9 +221,50 @@ impl AsyncProtocolSim {
         };
 
         self.stats.launched += 1;
-        let probe_time = self.probe_duration(&walk);
+        let mut probe_ms = self.probe_duration(&walk).as_millis();
+        let mut duplicate = false;
+        if self.plane.is_some() {
+            let u = walk.path.first().copied().unwrap_or(slot);
+            let v = walk.path.last().copied().unwrap_or(slot);
+            if u != v {
+                // The pre-commit message sequence of one §3.2 trial: the
+                // walk reaches the counterpart, the address lists come back,
+                // the hypothetical-neighbor probes go out. Losing any of
+                // them kills the trial — a failed trial for the Markov
+                // backoff, exactly as if Var had come back negative.
+                let (up, vp) = (self.net.peer(u), self.net.peer(v));
+                let plane = self.plane.as_mut().unwrap();
+                let verdict = plane
+                    .deliver(now, MsgKind::Walk, up, vp)
+                    .merge(plane.deliver(now, MsgKind::Exchange, vp, up))
+                    .merge(plane.deliver(now, MsgKind::Probe, up, vp));
+                let link_extra = plane.link_extra_ms(now, up, vp);
+                if !verdict.delivered {
+                    self.stats.faulted += 1;
+                    let cfg = self.cfg.clone();
+                    let first_hop = walk.path.get(1).copied();
+                    if let Some(state) = self.nodes[slot.index()].as_mut() {
+                        state.record_trial(&cfg, first_hop, false);
+                    }
+                    self.reschedule(slot);
+                    return;
+                }
+                // Drift/spikes and reordering stretch the in-flight time
+                // (one RTT's worth of link degradation), never d() itself —
+                // Var and the theorems see the oracle's ground truth.
+                probe_ms += verdict.extra_delay_ms + 2 * link_extra;
+                duplicate = verdict.duplicate;
+            }
+        }
+        let probe_time = Duration::from_millis(probe_ms.max(1));
         self.stats.probe_time_ms += probe_time.as_millis();
-        self.events.schedule_in(probe_time, Ev::Commit { origin: slot, walk });
+        if duplicate {
+            self.events.schedule_in(
+                probe_time,
+                Ev::Commit { origin: slot, walk: walk.clone(), dup: true },
+            );
+        }
+        self.events.schedule_in(probe_time, Ev::Commit { origin: slot, walk, dup: false });
     }
 
     /// Network time for one §3.2 trial: the walk's one-way per-hop
@@ -193,11 +295,34 @@ impl AsyncProtocolSim {
     }
 
     /// Phase 2: revalidate against the *current* overlay and commit.
-    fn commit(&mut self, origin: Slot, walk: WalkPath) {
+    fn commit(&mut self, origin: Slot, walk: WalkPath, dup: bool) {
         if self.nodes[origin.index()].is_none() || !self.net.graph().is_alive(origin) {
             return; // origin departed mid-flight; nothing to reschedule
         }
         let first_hop = walk.path.get(1).copied();
+        // The commit handshake itself crosses the network: if the plane
+        // drops it — counterpart crashed mid-flight, or a partition opened
+        // while the probe was in the air — the trial dies here.
+        if self.plane.is_some() {
+            let u = walk.path.first().copied().unwrap_or(origin);
+            let v = walk.path.last().copied().unwrap_or(origin);
+            if u != v {
+                let now = self.events.now();
+                let (up, vp) = (self.net.peer(u), self.net.peer(v));
+                let verdict = self.plane.as_mut().unwrap().deliver(now, MsgKind::Commit, up, vp);
+                if !verdict.delivered {
+                    if !dup {
+                        self.stats.faulted += 1;
+                        let cfg = self.cfg.clone();
+                        if let Some(state) = self.nodes[origin.index()].as_mut() {
+                            state.record_trial(&cfg, first_hop, false);
+                        }
+                        self.reschedule(origin);
+                    }
+                    return;
+                }
+            }
+        }
         let nhops = match self.cfg.probe {
             ProbeMode::Walk { nhops } => nhops,
             ProbeMode::Random => 1,
@@ -221,12 +346,14 @@ impl AsyncProtocolSim {
                 }
         });
         if !valid {
-            self.stats.stale_aborts += 1;
-            let cfg = self.cfg.clone();
-            if let Some(state) = self.nodes[origin.index()].as_mut() {
-                state.record_trial(&cfg, first_hop, false);
+            if !dup {
+                self.stats.stale_aborts += 1;
+                let cfg = self.cfg.clone();
+                if let Some(state) = self.nodes[origin.index()].as_mut() {
+                    state.record_trial(&cfg, first_hop, false);
+                }
+                self.reschedule(origin);
             }
-            self.reschedule(origin);
             return;
         }
 
@@ -240,6 +367,12 @@ impl AsyncProtocolSim {
                 self.apply_committed(&plan);
                 exchanged = true;
             }
+        }
+        if dup {
+            // The duplicate replayed the handshake (and, if the swap was
+            // somehow still beneficial, re-applied it); it is not a new
+            // trial resolution, so it touches neither stats nor the timer.
+            return;
         }
         if exchanged {
             self.stats.exchanges += 1;

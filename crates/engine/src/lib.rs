@@ -29,4 +29,4 @@ pub mod time;
 pub use backoff::MarkovTimer;
 pub use queue::EventQueue;
 pub use rng::SimRng;
-pub use time::{Duration, SimTime};
+pub use time::{window_overlap_ms, Duration, SimTime};

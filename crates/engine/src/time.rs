@@ -111,6 +111,16 @@ impl Add for Duration {
     }
 }
 
+/// Milliseconds of overlap between the half-open window `[start, end)` and
+/// the elapsed interval `[ZERO, upto)` — the building block for accounting
+/// how long a scheduled condition (a partition, a crash) has been active as
+/// of `upto`. Degenerate windows (`end <= start`) overlap nothing.
+#[inline]
+pub fn window_overlap_ms(start: SimTime, end: SimTime, upto: SimTime) -> u64 {
+    let end = end.0.min(upto.0);
+    end.saturating_sub(start.0)
+}
+
 impl Mul<u64> for Duration {
     type Output = Duration;
     #[inline]
@@ -181,5 +191,17 @@ mod tests {
     fn ordering_is_numeric() {
         assert!(SimTime(5) < SimTime(6));
         assert!(Duration(100) > Duration(99));
+    }
+
+    #[test]
+    fn window_overlap_cases() {
+        // Fully elapsed window.
+        assert_eq!(window_overlap_ms(SimTime(10), SimTime(30), SimTime(100)), 20);
+        // Still-open window: counts only up to `upto`.
+        assert_eq!(window_overlap_ms(SimTime(10), SimTime(30), SimTime(20)), 10);
+        // Not yet started.
+        assert_eq!(window_overlap_ms(SimTime(50), SimTime(60), SimTime(20)), 0);
+        // Degenerate window.
+        assert_eq!(window_overlap_ms(SimTime(30), SimTime(30), SimTime(100)), 0);
     }
 }

@@ -1,0 +1,33 @@
+//! Regenerate the robustness experiments (beyond-paper; DESIGN.md §10).
+//!
+//! ```text
+//! cargo run --release -p prop-experiments --bin faults \
+//!     [sweep|recovery] [--quick] [--seed N]
+//! ```
+
+use prop_experiments::faults;
+use prop_experiments::report::{print_fault_table, print_series_table, write_json, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let run_all = cli.panel.is_none();
+    let want = |p: &str| run_all || cli.panel.as_deref() == Some(p);
+
+    if want("sweep") {
+        let rows = faults::sweep(cli.scale, cli.seed);
+        print_fault_table("F1 — PROP-G under loss × transit partition", &rows);
+        write_json("faults_sweep", &rows);
+    }
+
+    if want("recovery") {
+        let r = faults::recovery(cli.scale, cli.seed);
+        println!(
+            "\n=== F2 — partition recovery (split at {:.1} min, heals at {:.1} min) ===",
+            r.partition.0 as f64 / 60_000.0,
+            r.partition.1 as f64 / 60_000.0
+        );
+        print_series_table("F2 — exchange rate across the split", &[&r.exchange_rate]);
+        println!("{}", r.faults);
+        write_json("faults_recovery", &r);
+    }
+}

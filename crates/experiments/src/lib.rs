@@ -9,6 +9,7 @@
 //! | [`fig6`] | Fig. 6 — PROP-G in a Chord environment (stretch vs time) | (a) TTL scale, (b) system size, (c) physical topology |
 //! | [`fig7`] | Fig. 7 — PROP-O vs PROP-G vs LTM under bimodal heterogeneity (normalized delay vs fraction of fast-node lookups) | single panel |
 //! | [`ablation`] | §4.3 / §5 text claims | A1 overhead, A2 churn, A3 combining with PNS/PIS, A4 selfish rewiring |
+//! | [`faults`] | robustness (beyond-paper) | loss × partition sweep, partition-recovery timeline |
 //!
 //! Each experiment takes a [`Scale`]: `Paper` reproduces the published
 //! parameterization (n = 1000 over the ≈3,000-host `ts-large` topology,
@@ -16,6 +17,7 @@
 //! Criterion benches.
 
 pub mod ablation;
+pub mod faults;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;

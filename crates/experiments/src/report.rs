@@ -44,6 +44,47 @@ pub fn print_improvements(curves: &[(&str, f64, f64)]) {
     }
 }
 
+/// Print the fault-sweep grid: one row per (loss, partition) cell, with the
+/// driver's progress counters (including `stale_aborts` and `faulted`) next
+/// to the plane's own counters and the achieved stretch improvement.
+pub fn print_fault_table(title: &str, rows: &[crate::faults::FaultSweepRow]) {
+    println!("\n=== {title} ===");
+    if rows.is_empty() {
+        println!("(no data)");
+        return;
+    }
+    println!(
+        "{:>7} {:>7} {:>9} {:>9} {:>8} {:>7} {:>8} {:>8} {:>8} {:>9} {:>8}",
+        "loss%",
+        "part s",
+        "launched",
+        "exchange",
+        "no-gain",
+        "stale",
+        "faulted",
+        "drops",
+        "crashed",
+        "part ms",
+        "improv%"
+    );
+    for r in rows {
+        println!(
+            "{:>7.1} {:>7} {:>9} {:>9} {:>8} {:>7} {:>8} {:>8} {:>8} {:>9} {:>8.1}",
+            r.loss_pct,
+            r.partition_secs,
+            r.launched,
+            r.exchanges,
+            r.no_gain,
+            r.stale_aborts,
+            r.faulted,
+            r.drops,
+            r.crashed_aborts,
+            r.partition_ms,
+            r.improvement_pct
+        );
+    }
+}
+
 fn truncate(s: &str, n: usize) -> String {
     if s.len() <= n {
         s.to_string()

@@ -1,7 +1,7 @@
 //! Shared experiment scaffolding: topologies, scales, scenario builders.
 
 use prop_engine::{Duration, SimRng};
-use prop_netsim::{generate, LatencyOracle, TransitStubParams};
+use prop_netsim::{generate, LatencyOracle, PhysGraph, TransitStubParams};
 use prop_overlay::chord::{Chord, ChordParams};
 use prop_overlay::gnutella::{Gnutella, GnutellaParams};
 use prop_overlay::{OverlayNet, Slot};
@@ -86,6 +86,7 @@ pub struct Scenario {
     pub n: usize,
     pub seed: u64,
     pub oracle: Arc<LatencyOracle>,
+    phys: PhysGraph,
     rng: SimRng,
 }
 
@@ -96,7 +97,13 @@ impl Scenario {
         let mut rng = SimRng::seed_from(seed);
         let phys = generate(&topology.params(), &mut rng);
         let oracle = Arc::new(LatencyOracle::select_and_build(&phys, n, &mut rng));
-        Scenario { topology, n, seed, oracle, rng }
+        Scenario { topology, n, seed, oracle, phys, rng }
+    }
+
+    /// The generated physical network (the fault experiments need it to
+    /// compute transit-partition sides).
+    pub fn phys(&self) -> &PhysGraph {
+        &self.phys
     }
 
     /// A derived RNG stream for a named experiment stage.

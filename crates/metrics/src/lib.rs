@@ -12,9 +12,13 @@
 //!   power-law-preservation argument.
 //! * [`oraclestats`] — latency-oracle row-cache hit/miss/eviction counters
 //!   for large-scale (beyond-paper) runs.
+//! * [`faultstats`] — fault-plane counters (drops, dups, reorders,
+//!   partition time, crashed-commit aborts) with derived rates, for the
+//!   robustness sweeps.
 
 pub mod convergence;
 pub mod degree;
+pub mod faultstats;
 pub mod floodcost;
 pub mod histogram;
 pub mod latency;
@@ -23,6 +27,7 @@ pub mod stretch;
 pub mod timeseries;
 
 pub use convergence::{convergence, Convergence};
+pub use faultstats::FaultReport;
 pub use floodcost::{flood_messages, mean_flood_messages};
 pub use histogram::{class_breakdown, ClassBreakdown, LatencyCdf};
 pub use latency::{avg_lookup_latency, LatencySummary};

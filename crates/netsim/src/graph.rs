@@ -187,6 +187,33 @@ impl PhysGraph {
         self.mean_link_latency
     }
 
+    /// The transit domain `u` belongs to: its own domain for a transit
+    /// node, its gateway's domain for a stub host. The GT-ITM generator
+    /// always hangs stub domains off a transit gateway, so this resolves
+    /// for every generated node; `None` only for a hand-built stub whose
+    /// recorded gateway is not a transit node.
+    pub fn transit_domain_of(&self, u: PhysNodeId) -> Option<u16> {
+        match self.class(u) {
+            NodeClass::Transit { domain } => Some(domain),
+            NodeClass::Stub { gateway, .. } => match self.class(PhysNodeId(gateway)) {
+                NodeClass::Transit { domain } => Some(domain),
+                NodeClass::Stub { .. } => None,
+            },
+        }
+    }
+
+    /// Number of distinct transit domains present (max domain id + 1).
+    pub fn num_transit_domains(&self) -> usize {
+        self.classes
+            .iter()
+            .filter_map(|c| match c {
+                NodeClass::Transit { domain } => Some(*domain as usize + 1),
+                NodeClass::Stub { .. } => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Iterator over all node ids.
     pub fn nodes(&self) -> impl Iterator<Item = PhysNodeId> + '_ {
         (0..self.classes.len() as u32).map(PhysNodeId)
@@ -288,6 +315,22 @@ mod tests {
         let g = triangle();
         let stubs = g.stub_nodes();
         assert_eq!(stubs, vec![PhysNodeId(1), PhysNodeId(2)]);
+    }
+
+    #[test]
+    fn transit_domain_resolution() {
+        let g = triangle();
+        assert_eq!(g.transit_domain_of(PhysNodeId(0)), Some(0));
+        assert_eq!(g.transit_domain_of(PhysNodeId(1)), Some(0), "stub resolves via gateway");
+        assert_eq!(g.num_transit_domains(), 1);
+
+        let mut b = PhysGraphBuilder::new();
+        let t0 = b.add_node(NodeClass::Transit { domain: 0 });
+        let t1 = b.add_node(NodeClass::Transit { domain: 3 });
+        b.add_link(t0, t1, 100, LinkClass::TransitTransit);
+        let g2 = b.build();
+        assert_eq!(g2.num_transit_domains(), 4, "max id + 1, ids need not be dense here");
+        assert_eq!(g2.transit_domain_of(t1), Some(3));
     }
 
     #[test]

@@ -41,6 +41,7 @@
 //! | [`netsim`] | transit–stub generator, Dijkstra, the `d(u,v)` latency oracle |
 //! | [`overlay`] | logical graph + placement abstraction; Gnutella, Chord (static + dynamic), Pastry, Kademlia, CAN |
 //! | [`core`] | **PROP-G / PROP-O** — the paper's contribution |
+//! | [`faults`] | deterministic fault plane: loss/dup/reorder, latency spikes, partitions, crash/restart, scripted scenarios, invariant harness |
 //! | [`baselines`] | LTM, PNS, PRS, PIS, selfish rewiring |
 //! | [`workloads`] | lookup streams, bimodal heterogeneity, churn traces |
 //! | [`metrics`] | stretch, lookup latency, time series, degree stats |
@@ -50,6 +51,7 @@ pub use prop_baselines as baselines;
 pub use prop_core as core;
 pub use prop_engine as engine;
 pub use prop_experiments as experiments;
+pub use prop_faults as faults;
 pub use prop_metrics as metrics;
 pub use prop_netsim as netsim;
 pub use prop_overlay as overlay;
@@ -60,8 +62,11 @@ pub mod prelude {
     pub use prop_baselines::{LtmConfig, LtmSim, PrsChord};
     pub use prop_core::{AsyncProtocolSim, Policy, ProbeMode, PropConfig, ProtocolSim};
     pub use prop_engine::{Duration, SimRng, SimTime};
+    pub use prop_faults::{
+        transit_bisection, FaultCounters, FaultHarness, FaultPlane, FaultScript,
+    };
     pub use prop_metrics::{
-        avg_lookup_latency, link_stretch, path_stretch, OracleCacheReport, TimeSeries,
+        avg_lookup_latency, link_stretch, path_stretch, FaultReport, OracleCacheReport, TimeSeries,
     };
     pub use prop_netsim::{
         generate, CacheStats, LatencyOracle, OracleConfig, PhysGraph, TransitStubParams,

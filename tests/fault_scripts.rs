@@ -1,0 +1,89 @@
+//! Fault-plane scenario tests: random scripts must never break the
+//! theorems, and a pinned (seed, script) pair must replay bit-for-bit.
+
+use prop::faults::{FaultHarness, FaultScript};
+use prop::prelude::*;
+use proptest::collection::vec;
+use proptest::strategy::Strategy;
+use proptest::test_runner::Config as ProptestConfig;
+use proptest::{prop_assert, prop_assert_eq, proptest};
+
+const MEMBERS: usize = 30;
+
+/// The harness preset shortened for property testing (each case replays the
+/// script against BOTH drivers).
+fn harness(cfg: PropConfig, script: FaultScript, seed: u64) -> FaultHarness {
+    let mut h = FaultHarness::small(cfg, script, seed);
+    h.horizon = Duration::from_minutes(20);
+    h.checkpoint_every = Duration::from_minutes(4);
+    h
+}
+
+/// Random but bounded scenarios: loss ≤ 20%, at most 2 partitions, crashes
+/// hitting ≤ 10% of the membership.
+fn script_strategy() -> impl Strategy<Value = FaultScript> {
+    let rates = (0.0..=0.20f64, 0.0..=0.10f64, 0.0..=0.25f64, 0u64..=300);
+    let partitions = vec((60_000u64..900_000, 30_000u64..180_000), 0..=2);
+    let crashes = vec((0..MEMBERS, 60_000u64..900_000, 30_000u64..120_000), 0..=3);
+    (rates, partitions, crashes).prop_map(|((loss, dup, reord, reord_max), parts, crashes)| {
+        let mut s = FaultScript::new();
+        if loss > 0.0 {
+            s = s.loss(0, loss);
+        }
+        if dup > 0.0 {
+            s = s.duplicate(0, dup);
+        }
+        if reord > 0.0 && reord_max > 0 {
+            s = s.reorder(0, reord, reord_max);
+        }
+        for (at, heal) in parts {
+            s = s.partition(at, heal);
+        }
+        for (peer, at, restart) in crashes {
+            s = s.crash(at, peer, restart);
+        }
+        s
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Theorem 1 (global + per-side) and Theorem 2 survive arbitrary
+    /// bounded fault scripts, for both policies, on both drivers.
+    #[test]
+    fn random_scripts_preserve_the_theorems(script in script_strategy(), seed in 0u64..1000) {
+        for cfg in [PropConfig::prop_g(), PropConfig::prop_o()] {
+            let report = harness(cfg, script.clone(), seed).run();
+            prop_assert!(report.is_ok(), "invariant violated: {:?}", report.as_ref().err());
+            let report = report.unwrap();
+            prop_assert_eq!(report.sync.checkpoints, report.r#async.checkpoints);
+        }
+    }
+}
+
+/// Golden trace: one pinned (seed, script) pair replays byte-identically —
+/// same fault counters (compared through their serialized bytes) and the
+/// same final overlay fingerprint, on both drivers.
+#[test]
+fn golden_trace_is_reproducible() {
+    let script = FaultScript::new()
+        .loss(0, 0.10)
+        .duplicate(0, 0.05)
+        .reorder(0, 0.15, 250)
+        .partition(300_000, 120_000)
+        .crash(420_000, 7, 90_000);
+
+    let a = harness(PropConfig::prop_g(), script.clone(), 2024).run().expect("run a");
+    let b = harness(PropConfig::prop_g(), script, 2024).run().expect("run b");
+
+    let bytes = |c: &FaultCounters| serde_json::to_vec(c).expect("counters serialize");
+    assert_eq!(bytes(&a.sync.counters), bytes(&b.sync.counters), "sync counters diverged");
+    assert_eq!(bytes(&a.r#async.counters), bytes(&b.r#async.counters), "async counters diverged");
+    assert_eq!(a.sync.final_latency, b.sync.final_latency, "sync overlay diverged");
+    assert_eq!(a.r#async.final_latency, b.r#async.final_latency, "async overlay diverged");
+    assert_eq!(a, b);
+
+    // The script actually did something: the plane ruled against traffic.
+    assert!(a.r#async.counters.total_events() > 0, "{:?}", a.r#async.counters);
+}
