@@ -232,22 +232,32 @@ impl ProtocolSim {
 
         self.overhead.trials += 1;
 
+        // A walk that could not reach its full TTL yields no counterpart.
+        let full_len = match self.cfg.probe {
+            ProbeMode::Walk { nhops } => walk.counterpart(nhops).is_some(),
+            ProbeMode::Random => true,
+        };
+
         // The whole §3.2 message sequence happens "at once" in this driver,
-        // so the plane rules on all four message kinds at the same instant:
-        // losing any of them (random loss, partition cut, crashed
-        // counterpart) turns the trial into a failure that feeds the
-        // Markov backoff, exactly like a fruitless probe.
+        // so the plane rules at the same instant — but only on the messages
+        // the trial actually emits: a truncated walk sends no address
+        // exchange, probes, or commit, so only the Walk ruling applies to
+        // it. Losing any emitted message (random loss, partition cut,
+        // crashed counterpart) turns the trial into a failure that feeds
+        // the Markov backoff, exactly like a fruitless probe.
         if self.plane.is_some() {
             let u = walk.path.first().copied().unwrap_or(slot);
             let v = walk.path.last().copied().unwrap_or(slot);
             if u != v {
                 let (up, vp) = (self.net.peer(u), self.net.peer(v));
                 let plane = self.plane.as_mut().unwrap();
-                let verdict = plane
-                    .deliver(now, MsgKind::Walk, up, vp)
-                    .merge(plane.deliver(now, MsgKind::Exchange, vp, up))
-                    .merge(plane.deliver(now, MsgKind::Probe, up, vp))
-                    .merge(plane.deliver(now, MsgKind::Commit, up, vp));
+                let mut verdict = plane.deliver(now, MsgKind::Walk, up, vp);
+                if full_len {
+                    verdict = verdict
+                        .merge(plane.deliver(now, MsgKind::Exchange, vp, up))
+                        .merge(plane.deliver(now, MsgKind::Probe, up, vp))
+                        .merge(plane.deliver(now, MsgKind::Commit, up, vp));
+                }
                 if !verdict.delivered {
                     let cfg = self.cfg.clone();
                     if let Some(state) = self.nodes[slot.index()].as_mut() {
@@ -258,12 +268,6 @@ impl ProtocolSim {
                 }
             }
         }
-
-        // A walk that could not reach its full TTL yields no counterpart.
-        let full_len = match self.cfg.probe {
-            ProbeMode::Walk { nhops } => walk.counterpart(nhops).is_some(),
-            ProbeMode::Random => true,
-        };
 
         let mut exchanged = false;
         if full_len {

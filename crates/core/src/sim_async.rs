@@ -231,13 +231,21 @@ impl AsyncProtocolSim {
                 // walk reaches the counterpart, the address lists come back,
                 // the hypothetical-neighbor probes go out. Losing any of
                 // them kills the trial — a failed trial for the Markov
-                // backoff, exactly as if Var had come back negative.
+                // backoff, exactly as if Var had come back negative. A
+                // truncated (stuck) walk emits no exchange or probes, so
+                // only the Walk ruling applies to it.
+                let has_counterpart = match self.cfg.probe {
+                    ProbeMode::Walk { nhops } => walk.counterpart(nhops).is_some(),
+                    ProbeMode::Random => true,
+                };
                 let (up, vp) = (self.net.peer(u), self.net.peer(v));
                 let plane = self.plane.as_mut().unwrap();
-                let verdict = plane
-                    .deliver(now, MsgKind::Walk, up, vp)
-                    .merge(plane.deliver(now, MsgKind::Exchange, vp, up))
-                    .merge(plane.deliver(now, MsgKind::Probe, up, vp));
+                let mut verdict = plane.deliver(now, MsgKind::Walk, up, vp);
+                if has_counterpart {
+                    verdict = verdict
+                        .merge(plane.deliver(now, MsgKind::Exchange, vp, up))
+                        .merge(plane.deliver(now, MsgKind::Probe, up, vp));
+                }
                 let link_extra = plane.link_extra_ms(now, up, vp);
                 if !verdict.delivered {
                     self.stats.faulted += 1;
@@ -258,13 +266,20 @@ impl AsyncProtocolSim {
         }
         let probe_time = Duration::from_millis(probe_ms.max(1));
         self.stats.probe_time_ms += probe_time.as_millis();
+        // Ties at probe_time break FIFO, so the original must be scheduled
+        // first: it resolves the trial, and the duplicate then replays the
+        // handshake against the already-consumed plan (stale abort, no
+        // double-counting). The reverse order would deliver the dup first
+        // and charge every duplicated-but-successful trial as a failure.
         if duplicate {
             self.events.schedule_in(
                 probe_time,
-                Ev::Commit { origin: slot, walk: walk.clone(), dup: true },
+                Ev::Commit { origin: slot, walk: walk.clone(), dup: false },
             );
+            self.events.schedule_in(probe_time, Ev::Commit { origin: slot, walk, dup: true });
+        } else {
+            self.events.schedule_in(probe_time, Ev::Commit { origin: slot, walk, dup: false });
         }
-        self.events.schedule_in(probe_time, Ev::Commit { origin: slot, walk, dup: false });
     }
 
     /// Network time for one §3.2 trial: the walk's one-way per-hop
@@ -300,13 +315,22 @@ impl AsyncProtocolSim {
             return; // origin departed mid-flight; nothing to reschedule
         }
         let first_hop = walk.path.get(1).copied();
-        // The commit handshake itself crosses the network: if the plane
+        let nhops = match self.cfg.probe {
+            ProbeMode::Walk { nhops } => nhops,
+            ProbeMode::Random => 1,
+        };
+        let counterpart = match self.cfg.probe {
+            ProbeMode::Walk { .. } => walk.counterpart(nhops),
+            ProbeMode::Random => walk.path.last().copied(),
+        };
+        // The commit handshake itself crosses the network — and only a walk
+        // that reached its counterpart emits one (a truncated walk dies in
+        // the stale check below without sending anything): if the plane
         // drops it — counterpart crashed mid-flight, or a partition opened
         // while the probe was in the air — the trial dies here.
         if self.plane.is_some() {
             let u = walk.path.first().copied().unwrap_or(origin);
-            let v = walk.path.last().copied().unwrap_or(origin);
-            if u != v {
+            if let Some(v) = counterpart.filter(|&v| v != u) {
                 let now = self.events.now();
                 let (up, vp) = (self.net.peer(u), self.net.peer(v));
                 let verdict = self.plane.as_mut().unwrap().deliver(now, MsgKind::Commit, up, vp);
@@ -323,18 +347,10 @@ impl AsyncProtocolSim {
                 }
             }
         }
-        let nhops = match self.cfg.probe {
-            ProbeMode::Walk { nhops } => nhops,
-            ProbeMode::Random => 1,
-        };
         // Stale checks: the whole walk must still exist (all nodes alive;
         // for walk mode, all edges intact) — otherwise the counterpart was
         // found through a path that no longer exists and the Theorem-1
         // path-exclusion argument would not apply.
-        let counterpart = match self.cfg.probe {
-            ProbeMode::Walk { .. } => walk.counterpart(nhops),
-            ProbeMode::Random => walk.path.last().copied(),
-        };
         let valid = counterpart.is_some_and(|v| {
             self.net.graph().is_alive(v)
                 && walk.path.iter().all(|&s| self.net.graph().is_alive(s))
@@ -501,6 +517,47 @@ mod tests {
         let resolved = s.exchanges + s.no_gain + s.stale_aborts;
         assert!(resolved <= s.launched);
         assert!(s.launched - resolved <= 25, "too many unresolved trials");
+    }
+
+    /// Duplicates every message, drops nothing.
+    struct AlwaysDup;
+
+    impl FaultPlane for AlwaysDup {
+        fn deliver(
+            &mut self,
+            _: SimTime,
+            _: MsgKind,
+            _: usize,
+            _: usize,
+        ) -> crate::fault::Delivery {
+            crate::fault::Delivery { delivered: true, duplicate: true, extra_delay_ms: 0 }
+        }
+        fn is_up(&mut self, _: SimTime, _: usize) -> bool {
+            true
+        }
+        fn link_extra_ms(&mut self, _: SimTime, _: usize, _: usize) -> u64 {
+            0
+        }
+        fn counters(&mut self, _: SimTime) -> FaultCounters {
+            FaultCounters::default()
+        }
+    }
+
+    #[test]
+    fn duplicated_commits_resolve_the_original_first() {
+        // Pure duplication, zero loss: both commit copies land at the same
+        // instant and ties break FIFO, so the original must be scheduled
+        // first and resolve the trial. If the duplicate ran first it would
+        // consume the plan, and the original would book every successful
+        // exchange as no_gain/stale while feeding the backoff a failure.
+        let mut sim = gnutella_async(30, 10, PropConfig::prop_g());
+        let before = sim.net().total_link_latency();
+        sim.set_fault_plane(Box::new(AlwaysDup));
+        sim.run_for(minutes(40));
+        let s = sim.stats();
+        assert!(s.exchanges > 0, "duplication alone must not suppress success accounting: {s:?}");
+        assert_eq!(s.faulted, 0, "nothing was dropped: {s:?}");
+        assert!(sim.net().total_link_latency() < before, "overlay must still improve");
     }
 
     #[test]

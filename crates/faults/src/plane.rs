@@ -369,6 +369,14 @@ impl FaultPlane for ComposedPlane {
 /// scripts). `seed` drives every probabilistic injector through distinct
 /// forked streams — the same `(script, sides, seed)` always compiles to a
 /// plane that makes the same decisions.
+///
+/// # Panics
+///
+/// If the script contains partition windows but `sides` does not place
+/// members on both sides of the cut — such a "partition" would drop
+/// nothing while still accruing `partition_ms`, and reports would claim a
+/// split that was never enforced. (`sides` shorter than the membership is
+/// not detectable here; missing peers default to [`Side::A`].)
 pub fn compile(script: &FaultScript, sides: &[Side], seed: u64) -> ComposedPlane {
     let root = SimRng::seed_from(seed);
     let mut loss_steps = Vec::new();
@@ -420,6 +428,11 @@ pub fn compile(script: &FaultScript, sides: &[Side], seed: u64) -> ComposedPlane
         plane.push(Box::new(SpikeInjector::new(spike_windows)));
     }
     if !partition_windows.is_empty() {
+        assert!(
+            sides.contains(&Side::A) && sides.contains(&Side::B),
+            "script has partition windows but `sides` does not bisect the membership \
+             (pass the output of transit_bisection)"
+        );
         plane.push(Box::new(PartitionInjector::new(partition_windows, sides.to_vec())));
     }
     if !crash_windows.is_empty() {
@@ -566,5 +579,17 @@ mod tests {
     fn empty_script_compiles_to_empty_plane() {
         let plane = compile(&FaultScript::new(), &[], 1);
         assert!(plane.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not bisect")]
+    fn partition_script_rejects_degenerate_sides() {
+        compile(&FaultScript::new().partition(100, 50), &[], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not bisect")]
+    fn partition_script_rejects_one_sided_split() {
+        compile(&FaultScript::new().partition(100, 50), &[Side::A, Side::A], 1);
     }
 }
