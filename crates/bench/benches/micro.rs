@@ -8,7 +8,7 @@ use prop_engine::SimRng;
 use prop_netsim::{generate, LatencyOracle, TransitStubParams};
 use prop_overlay::gnutella::{Gnutella, GnutellaParams};
 use prop_overlay::walk::random_walk;
-use prop_overlay::{OverlayNet, Slot};
+use prop_overlay::{FloodScratch, OverlayNet, Slot};
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Duration as StdDuration;
@@ -54,6 +54,19 @@ fn bench_overlay(c: &mut Criterion) {
             i = (i + 131) % 1000;
             let j = (i * 17 + 3) % 1000;
             black_box(net.min_latency_within_hops(Slot(i), Slot(j), 7))
+        })
+    });
+
+    // Same floods through a reused scratch: the allocation-free fast path
+    // every measurement loop takes. The gap to the bench above is the
+    // per-lookup allocation cost the scratch removes.
+    g.bench_function("flood_lookup_scratch_reuse_ttl7_n1000", |b| {
+        let mut scratch = FloodScratch::new();
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 131) % 1000;
+            let j = (i * 17 + 3) % 1000;
+            black_box(net.min_latency_within_hops_with(Slot(i), Slot(j), 7, &mut scratch))
         })
     });
 
@@ -246,6 +259,43 @@ fn bench_oracle_tiers(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_measurement_plane(c: &mut Criterion) {
+    use prop_metrics::{
+        avg_lookup_latency, par_avg_lookup_latency, par_path_stretch, path_stretch,
+    };
+    use prop_overlay::chord::{Chord, ChordParams};
+    use prop_workloads::LookupGen;
+
+    let mut g = c.benchmark_group("measurement_plane");
+    g.sample_size(10).measurement_time(StdDuration::from_secs(20));
+
+    let (gn, net, rng) = gnutella_net(1000, 31);
+    let pairs =
+        LookupGen::new(&rng).uniform_pairs(&(0..1000u32).map(Slot).collect::<Vec<_>>(), 2000);
+
+    // Serial vs parallel over the identical workload: the ratio is the
+    // measurement plane's speedup on this machine (results are
+    // bit-identical by construction — see prop_metrics::plane).
+    g.bench_function("avg_lookup_latency_serial_2000", |b| {
+        b.iter(|| black_box(avg_lookup_latency(&net, &gn, &pairs)))
+    });
+    g.bench_function("avg_lookup_latency_parallel_2000", |b| {
+        b.iter(|| black_box(par_avg_lookup_latency(&net, &gn, &pairs)))
+    });
+
+    let mut rng2 = SimRng::seed_from(32);
+    let phys = generate(&TransitStubParams::ts_large(), &mut rng2);
+    let oracle = Arc::new(LatencyOracle::select_and_build(&phys, 1000, &mut rng2));
+    let (chord, chord_net) = Chord::build(ChordParams::default(), oracle, &mut rng2);
+    g.bench_function("path_stretch_serial_2000", |b| {
+        b.iter(|| black_box(path_stretch(&chord_net, &chord, &pairs)))
+    });
+    g.bench_function("path_stretch_parallel_2000", |b| {
+        b.iter(|| black_box(par_path_stretch(&chord_net, &chord, &pairs)))
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_netsim,
@@ -253,6 +303,7 @@ criterion_group!(
     bench_dhts,
     bench_protocol_drivers,
     bench_exchange,
-    bench_oracle_tiers
+    bench_oracle_tiers,
+    bench_measurement_plane
 );
 criterion_main!(benches);

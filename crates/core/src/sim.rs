@@ -156,9 +156,17 @@ impl ProtocolSim {
         self.net.oracle_cache_stats()
     }
 
-    /// The resolved default PROP-O exchange size (δ(G) at start).
+    /// The resolved default PROP-O exchange size — δ(G) of the *current*
+    /// overlay, kept fresh across churn by the `handle_*` entry points.
     pub fn m_default(&self) -> usize {
         self.m_default
+    }
+
+    /// Churn changes degrees, and the default PROP-O `m` is defined as
+    /// δ(G): a stale value from start-up would make every subsequent
+    /// subset exchange the wrong size.
+    fn refresh_m_default(&mut self) {
+        self.m_default = self.net.graph().min_degree().unwrap_or(1).max(1);
     }
 
     /// Run all events up to and including `deadline`.
@@ -364,6 +372,7 @@ impl ProtocolSim {
         self.events.schedule_in(offset, Ev::Probe(slot));
         let neighbors: Vec<Slot> = self.net.graph().neighbors(slot).to_vec();
         self.notify_neighborhood_change(&neighbors);
+        self.refresh_m_default();
     }
 
     /// The peer at `slot` departed (the overlay has already removed it and
@@ -372,6 +381,7 @@ impl ProtocolSim {
     pub fn handle_leave(&mut self, slot: Slot, affected: &[Slot]) {
         self.nodes[slot.index()] = None;
         self.notify_neighborhood_change(affected);
+        self.refresh_m_default();
     }
 
     /// The overlay rewired some nodes' neighbor lists outside the protocol
@@ -379,6 +389,7 @@ impl ProtocolSim {
     /// resync their queues, per the paper's churn handling.
     pub fn handle_rewire(&mut self, affected: &[Slot]) {
         self.notify_neighborhood_change(affected);
+        self.refresh_m_default();
     }
 
     fn notify_neighborhood_change(&mut self, affected: &[Slot]) {
@@ -525,6 +536,32 @@ mod tests {
             assert!(sim.net().graph().is_connected());
         }
         assert!(sim.net().placement().is_consistent());
+    }
+
+    #[test]
+    fn m_default_tracks_min_degree_under_churn() {
+        let (gn, mut sim) = gnutella_sim(30, 13, PropConfig::prop_o());
+        let initial = sim.m_default();
+        assert_eq!(initial, sim.net().graph().min_degree().unwrap().max(1));
+
+        // Crash a neighbor of a minimum-degree slot: that slot loses one
+        // edge without the graceful patch-up, so δ(G) strictly drops and a
+        // stale `m_default` is guaranteed to be wrong.
+        let min_slot =
+            sim.net().graph().live_slots().min_by_key(|&s| sim.net().graph().degree(s)).unwrap();
+        let victim = sim.net().graph().neighbors(min_slot)[0];
+        let peer = sim.net().peer(victim);
+        let orphans = gn.crash(sim.net_mut(), victim);
+        sim.handle_leave(victim, &orphans);
+        assert!(sim.m_default() < initial, "δ(G) dropped but m_default did not");
+        assert_eq!(sim.m_default(), sim.net().graph().min_degree().unwrap().max(1));
+
+        // Rejoin: the invariant must hold after joins and rewires too.
+        let mut rng = SimRng::seed_from(99);
+        let slot = gn.join(sim.net_mut(), peer, &mut rng);
+        sim.handle_join(slot);
+        assert_eq!(sim.m_default(), sim.net().graph().min_degree().unwrap().max(1));
+        sim.run_for(minutes(5));
     }
 
     #[test]

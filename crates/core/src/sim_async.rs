@@ -145,8 +145,19 @@ impl AsyncProtocolSim {
         &self.net
     }
 
+    /// Mutable overlay access (churn glue lives in the experiment layer).
+    pub fn net_mut(&mut self) -> &mut OverlayNet {
+        &mut self.net
+    }
+
     pub fn into_net(self) -> OverlayNet {
         self.net
+    }
+
+    /// The resolved default PROP-O exchange size — δ(G) of the *current*
+    /// overlay, kept fresh across churn by the `handle_*` entry points.
+    pub fn m_default(&self) -> usize {
+        self.m_default
     }
 
     pub fn now(&self) -> SimTime {
@@ -443,6 +454,68 @@ impl AsyncProtocolSim {
             self.events.schedule_in(state.probe_interval(), Ev::Tick(slot));
         }
     }
+
+    // ----- churn entry points (same contract as the synchronous driver:
+    // ----- the experiment layer mutates the overlay, then informs us) -----
+
+    /// A peer joined at `slot` (already wired in the overlay). Starts its
+    /// protocol instance and notifies its neighbors. In-flight commits that
+    /// the join invalidates die in commit-time revalidation.
+    pub fn handle_join(&mut self, slot: Slot) {
+        debug_assert!(self.net.graph().is_alive(slot));
+        if self.nodes.len() < self.net.graph().num_slots() {
+            self.nodes.resize_with(self.net.graph().num_slots(), || None);
+        }
+        let state = NodeState::new(&self.cfg, self.net.graph(), slot, &mut self.rng);
+        self.nodes[slot.index()] = Some(state);
+        let offset =
+            Duration::from_millis(self.rng.range(0..self.cfg.init_timer.as_millis().max(1)));
+        self.events.schedule_in(offset, Ev::Tick(slot));
+        let neighbors: Vec<Slot> = self.net.graph().neighbors(slot).to_vec();
+        self.notify_neighborhood_change(&neighbors);
+        self.refresh_m_default();
+    }
+
+    /// The peer at `slot` departed (the overlay has already removed it and
+    /// patched around the hole). `affected` are the slots whose neighbor
+    /// lists changed. Its in-flight trials abort as stale.
+    pub fn handle_leave(&mut self, slot: Slot, affected: &[Slot]) {
+        self.nodes[slot.index()] = None;
+        self.notify_neighborhood_change(affected);
+        self.refresh_m_default();
+    }
+
+    /// The overlay rewired some nodes' neighbor lists outside the protocol
+    /// (e.g. a DHT stabilization pass after a join): reset their timers and
+    /// resync their queues, per the paper's churn handling.
+    pub fn handle_rewire(&mut self, affected: &[Slot]) {
+        self.notify_neighborhood_change(affected);
+        self.refresh_m_default();
+    }
+
+    /// Churn changes degrees, and the default PROP-O `m` is defined as
+    /// δ(G): a stale value from start-up would make every subsequent
+    /// subset exchange the wrong size.
+    fn refresh_m_default(&mut self) {
+        self.m_default = self.net.graph().min_degree().unwrap_or(1).max(1);
+    }
+
+    fn notify_neighborhood_change(&mut self, affected: &[Slot]) {
+        for &w in affected {
+            if !self.net.graph().is_alive(w) {
+                continue;
+            }
+            if let Some(state) = self.nodes[w.index()].as_mut() {
+                let had_backoff = state.probe_interval() > self.cfg.init_timer;
+                state.on_neighborhood_changed(self.net.graph(), w);
+                // A reset node should also probe soon, not wait out a long
+                // previously-scheduled interval.
+                if had_backoff {
+                    self.events.schedule_in(self.cfg.init_timer, Ev::Tick(w));
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -600,6 +673,36 @@ mod tests {
         assert!(async_final < start && sync_final < start);
         let ratio = async_final as f64 / sync_final as f64;
         assert!((0.7..1.3).contains(&ratio), "drivers diverged: {ratio}");
+    }
+
+    #[test]
+    fn async_m_default_tracks_min_degree_under_churn() {
+        let mut rng = SimRng::seed_from(13);
+        let phys = generate(&TransitStubParams::tiny(), &mut rng);
+        let oracle = Arc::new(LatencyOracle::select_and_build(&phys, 30, &mut rng));
+        let (gn, net) = Gnutella::build(GnutellaParams::default(), oracle, &mut rng);
+        let mut sim = AsyncProtocolSim::new(net, PropConfig::prop_o(), &mut rng);
+        let initial = sim.m_default();
+        assert_eq!(initial, sim.net().graph().min_degree().unwrap().max(1));
+
+        // Crash a neighbor of a minimum-degree slot: that slot loses one
+        // edge without the graceful patch-up, so δ(G) strictly drops and a
+        // stale `m_default` is guaranteed to be wrong.
+        let min_slot =
+            sim.net().graph().live_slots().min_by_key(|&s| sim.net().graph().degree(s)).unwrap();
+        let victim = sim.net().graph().neighbors(min_slot)[0];
+        let peer = sim.net().peer(victim);
+        let orphans = gn.crash(sim.net_mut(), victim);
+        sim.handle_leave(victim, &orphans);
+        assert!(sim.m_default() < initial, "δ(G) dropped but m_default did not");
+        assert_eq!(sim.m_default(), sim.net().graph().min_degree().unwrap().max(1));
+
+        // Rejoin: the invariant must hold after joins and rewires too.
+        let mut churn_rng = SimRng::seed_from(99);
+        let slot = gn.join(sim.net_mut(), peer, &mut churn_rng);
+        sim.handle_join(slot);
+        assert_eq!(sim.m_default(), sim.net().graph().min_degree().unwrap().max(1));
+        sim.run_for(minutes(5));
     }
 
     #[test]

@@ -32,7 +32,7 @@ use prop_baselines::{LtmConfig, LtmSim};
 use prop_core::{PropConfig, ProtocolSim};
 use prop_engine::{Duration, SimTime};
 use prop_metrics::degree::degree_summary;
-use prop_metrics::{link_stretch, path_stretch, TimeSeries};
+use prop_metrics::{link_stretch, par_path_stretch, TimeSeries};
 use prop_overlay::chord::ChordParams;
 use prop_overlay::{Lookup, Slot};
 use prop_workloads::churn::{ChurnOp, ChurnTrace};
@@ -230,8 +230,8 @@ pub fn combine(scale: Scale, seed: u64) -> Vec<CombineRow> {
         let (vanilla, vanilla_net) = scenario.chord();
         rows.push(CombineRow {
             label: "Chord".into(),
-            stretch_initial: path_stretch(&vanilla_net, &vanilla, &pairs),
-            stretch_final: path_stretch(&vanilla_net, &vanilla, &pairs),
+            stretch_initial: par_path_stretch(&vanilla_net, &vanilla, &pairs).mean,
+            stretch_final: par_path_stretch(&vanilla_net, &vanilla, &pairs).mean,
         });
         rows.push(run_propg_over(&scenario, scale, "Chord + PROP-G", vanilla, vanilla_net, &pairs));
 
@@ -243,8 +243,8 @@ pub fn combine(scale: Scale, seed: u64) -> Vec<CombineRow> {
         );
         rows.push(CombineRow {
             label: "PNS-Chord".into(),
-            stretch_initial: path_stretch(&pns_net, &pns, &pairs),
-            stretch_final: path_stretch(&pns_net, &pns, &pairs),
+            stretch_initial: par_path_stretch(&pns_net, &pns, &pairs).mean,
+            stretch_final: par_path_stretch(&pns_net, &pns, &pairs).mean,
         });
         rows.push(run_propg_over(&scenario, scale, "PNS-Chord + PROP-G", pns, pns_net, &pairs));
     }
@@ -255,8 +255,8 @@ pub fn combine(scale: Scale, seed: u64) -> Vec<CombineRow> {
         let prs = prop_baselines::PrsChord::new(chord);
         rows.push(CombineRow {
             label: "PRS-Chord".into(),
-            stretch_initial: path_stretch(&net, &prs, &pairs),
-            stretch_final: path_stretch(&net, &prs, &pairs),
+            stretch_initial: par_path_stretch(&net, &prs, &pairs).mean,
+            stretch_final: par_path_stretch(&net, &prs, &pairs).mean,
         });
         rows.push(run_propg_over(&scenario, scale, "PRS-Chord + PROP-G", prs, net, &pairs));
     }
@@ -271,8 +271,8 @@ pub fn combine(scale: Scale, seed: u64) -> Vec<CombineRow> {
         );
         rows.push(CombineRow {
             label: "Pastry".into(),
-            stretch_initial: path_stretch(&vanilla_net, &vanilla, &pairs),
-            stretch_final: path_stretch(&vanilla_net, &vanilla, &pairs),
+            stretch_initial: par_path_stretch(&vanilla_net, &vanilla, &pairs).mean,
+            stretch_final: par_path_stretch(&vanilla_net, &vanilla, &pairs).mean,
         });
         rows.push(run_propg_over(
             &scenario,
@@ -291,8 +291,8 @@ pub fn combine(scale: Scale, seed: u64) -> Vec<CombineRow> {
         );
         rows.push(CombineRow {
             label: "PNS-Pastry".into(),
-            stretch_initial: path_stretch(&pns_net, &pns, &pairs),
-            stretch_final: path_stretch(&pns_net, &pns, &pairs),
+            stretch_initial: par_path_stretch(&pns_net, &pns, &pairs).mean,
+            stretch_final: par_path_stretch(&pns_net, &pns, &pairs).mean,
         });
         rows.push(run_propg_over(&scenario, scale, "PNS-Pastry + PROP-G", pns, pns_net, &pairs));
     }
@@ -304,8 +304,8 @@ pub fn combine(scale: Scale, seed: u64) -> Vec<CombineRow> {
             prop_overlay::can::Can::build(std::sync::Arc::clone(&scenario.oracle), &mut rng);
         rows.push(CombineRow {
             label: "CAN".into(),
-            stretch_initial: path_stretch(&vanilla_net, &vanilla, &pairs),
-            stretch_final: path_stretch(&vanilla_net, &vanilla, &pairs),
+            stretch_initial: par_path_stretch(&vanilla_net, &vanilla, &pairs).mean,
+            stretch_final: par_path_stretch(&vanilla_net, &vanilla, &pairs).mean,
         });
         rows.push(run_propg_over(&scenario, scale, "CAN + PROP-G", vanilla, vanilla_net, &pairs));
 
@@ -313,8 +313,8 @@ pub fn combine(scale: Scale, seed: u64) -> Vec<CombineRow> {
         let (pis, pis_net) = build_pis_can(std::sync::Arc::clone(&scenario.oracle), &mut rng);
         rows.push(CombineRow {
             label: "PIS-CAN".into(),
-            stretch_initial: path_stretch(&pis_net, &pis, &pairs),
-            stretch_final: path_stretch(&pis_net, &pis, &pairs),
+            stretch_initial: par_path_stretch(&pis_net, &pis, &pairs).mean,
+            stretch_final: par_path_stretch(&pis_net, &pis, &pairs).mean,
         });
         rows.push(run_propg_over(&scenario, scale, "PIS-CAN + PROP-G", pis, pis_net, &pairs));
     }
@@ -580,8 +580,8 @@ pub fn ltm_cap_sweep(scale: Scale, seed: u64) -> Vec<LtmCapRow> {
     // Unoptimized baseline.
     let (gn0, mut net0) = scenario.gnutella();
     net0.set_processing_delays(delays.clone());
-    let base0 = prop_metrics::avg_lookup_latency(&net0, &gn0, &pairs0).mean_ms;
-    let base1 = prop_metrics::avg_lookup_latency(&net0, &gn0, &pairs1).mean_ms;
+    let base0 = prop_metrics::par_avg_lookup_latency(&net0, &gn0, &pairs0).mean_ms;
+    let base1 = prop_metrics::par_avg_lookup_latency(&net0, &gn0, &pairs1).mean_ms;
 
     [8usize, 12, 16, 24, usize::MAX]
         .into_iter()
@@ -597,8 +597,10 @@ pub fn ltm_cap_sweep(scale: Scale, seed: u64) -> Vec<LtmCapRow> {
                 max_degree: cap,
                 mean_degree_final: net.graph().mean_degree(),
                 mean_link_latency_final: net.mean_link_latency(),
-                ratio_frac0: prop_metrics::avg_lookup_latency(&net, &gn, &pairs0).mean_ms / base0,
-                ratio_frac1: prop_metrics::avg_lookup_latency(&net, &gn, &pairs1).mean_ms / base1,
+                ratio_frac0: prop_metrics::par_avg_lookup_latency(&net, &gn, &pairs0).mean_ms
+                    / base0,
+                ratio_frac1: prop_metrics::par_avg_lookup_latency(&net, &gn, &pairs1).mean_ms
+                    / base1,
             }
         })
         .collect()
@@ -639,7 +641,7 @@ pub fn zipf_workload(scale: Scale, seed: u64) -> Vec<ZipfRow> {
 
     let (gn0, mut net0) = scenario.gnutella();
     net0.set_processing_delays(delays.clone());
-    let base = prop_metrics::avg_lookup_latency(&net0, &gn0, &pairs).mean_ms;
+    let base = prop_metrics::par_avg_lookup_latency(&net0, &gn0, &pairs).mean_ms;
 
     let mut rows = Vec::new();
     for (label, which) in [("PROP-O", 0), ("PROP-G", 1), ("LTM", 2)] {
@@ -673,7 +675,7 @@ pub fn zipf_workload(scale: Scale, seed: u64) -> Vec<ZipfRow> {
                 )
             })
             .collect();
-        let mean = prop_metrics::avg_lookup_latency(&net, &gn, &slot_pairs).mean_ms;
+        let mean = prop_metrics::par_avg_lookup_latency(&net, &gn, &slot_pairs).mean_ms;
         rows.push(ZipfRow { label: label.to_string(), ratio: mean / base });
     }
     rows
@@ -694,7 +696,7 @@ pub struct FloodCostRow {
 /// region, so per-query message cost tracks graph density. PROP preserves
 /// it exactly; LTM's added links make every query more expensive.
 pub fn flood_cost(scale: Scale, seed: u64) -> Vec<FloodCostRow> {
-    use prop_metrics::mean_flood_messages;
+    use prop_metrics::par_mean_flood_messages;
 
     let scenario = Scenario::build(topology_for(scale), scale.default_n(), seed);
     let sources: Vec<Slot> = scenario.all_slots().into_iter().step_by(7).collect();
@@ -703,7 +705,7 @@ pub fn flood_cost(scale: Scale, seed: u64) -> Vec<FloodCostRow> {
 
     for label in ["PROP-O", "PROP-G", "LTM"] {
         let (_, net) = scenario.gnutella();
-        let initial = mean_flood_messages(&net, &sources, ttl);
+        let initial = par_mean_flood_messages(&net, &sources, ttl);
         let mut rng = scenario.rng(&format!("a12-{label}"));
         let net = match label {
             "PROP-O" => {
@@ -725,7 +727,7 @@ pub fn flood_cost(scale: Scale, seed: u64) -> Vec<FloodCostRow> {
         rows.push(FloodCostRow {
             label: label.to_string(),
             msgs_per_query_initial: initial,
-            msgs_per_query_final: mean_flood_messages(&net, &sources, ttl),
+            msgs_per_query_final: par_mean_flood_messages(&net, &sources, ttl),
             mean_degree_final: net.graph().mean_degree(),
         });
     }
@@ -775,7 +777,7 @@ fn run_propg_over<L: Lookup>(
     net: prop_overlay::OverlayNet,
     pairs: &[(Slot, Slot)],
 ) -> CombineRow {
-    let initial = path_stretch(&net, &overlay, pairs);
+    let initial = par_path_stretch(&net, &overlay, pairs).mean;
     let mut rng = scenario.rng(&format!("a3-sim-{label}"));
     let mut sim = ProtocolSim::new(net, PropConfig::prop_g(), &mut rng);
     sim.run_for(scale.horizon());
@@ -783,7 +785,7 @@ fn run_propg_over<L: Lookup>(
     CombineRow {
         label: label.into(),
         stretch_initial: initial,
-        stretch_final: path_stretch(&net, &overlay, pairs),
+        stretch_final: par_path_stretch(&net, &overlay, pairs).mean,
     }
 }
 

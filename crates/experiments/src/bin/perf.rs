@@ -1,0 +1,98 @@
+//! perf — regenerate `BENCH_PERF.json` and optionally gate on a baseline.
+//!
+//! ```text
+//! cargo run --release -p prop-experiments --bin perf [--quick] [--seed N]
+//!     [--out PATH] [--check PATH]
+//! ```
+//!
+//! Without flags: Quick- and Paper-scale entries written to
+//! `BENCH_PERF.json` in the current directory (the repo root, when run via
+//! cargo from there). `--quick` restricts the run to the Quick entry —
+//! what CI uses. `--check PATH` additionally loads the committed baseline
+//! at PATH and exits non-zero when any gated throughput metric regressed
+//! more than `prop_experiments::perf::CHECK_TOLERANCE` against the
+//! same-scale baseline entry; a placeholder or metric-less baseline makes
+//! the run record-only.
+
+use prop_experiments::perf::{check_against_baseline, run, CHECK_TOLERANCE};
+use prop_experiments::Scale;
+use std::fs;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut scales = vec![Scale::Quick, Scale::Paper];
+    let mut seed = 1u64;
+    let mut out = String::from("BENCH_PERF.json");
+    let mut check: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => scales = vec![Scale::Quick],
+            "--seed" => {
+                seed = args.next().and_then(|s| s.parse().ok()).expect("--seed needs an integer");
+            }
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--check" => check = Some(args.next().expect("--check needs a baseline path")),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    let report = run(&scales, seed);
+    println!("perf (seed {}, {} rayon threads):", report.seed, report.threads);
+    for entry in &report.entries {
+        let m = &entry.metrics;
+        println!("[{}]", entry.scale);
+        println!(
+            "  driver      {:>12.0} trials/s   ({} trials)",
+            m.driver_trials_per_sec, m.driver_trials
+        );
+        println!(
+            "  lookups     {:>12.0} /s serial   {:>12.0} /s parallel   ({:.2}x, bit-identical)",
+            m.serial_lookups_per_sec, m.parallel_lookups_per_sec, m.parallel_speedup
+        );
+        println!(
+            "  flood       {:>12.1} edges   {:>8.1} improvements   {:>8.1} pushes   (per lookup)",
+            m.flood_edges_scanned_per_lookup,
+            m.flood_improvements_per_lookup,
+            m.flood_frontier_pushes_per_lookup
+        );
+        println!("  oracle      {:>11.1}% row-cache hit rate", m.oracle_hit_rate * 100.0);
+    }
+
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            fs::write(&out, json + "\n").unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+            println!("(wrote {out})");
+        }
+        Err(e) => panic!("cannot serialize report: {e}"),
+    }
+
+    if let Some(path) = check {
+        let baseline: serde_json::Value = match fs::read_to_string(&path) {
+            Ok(text) => serde_json::from_str(&text)
+                .unwrap_or_else(|e| panic!("baseline {path} is not JSON: {e}")),
+            Err(e) => {
+                println!("no baseline at {path} ({e}); recording only");
+                return ExitCode::SUCCESS;
+            }
+        };
+        let failures = check_against_baseline(&report, &baseline);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!(
+                    "PERF REGRESSION [{}]: {} fell {:.1}% (baseline {:.0}, now {:.0}, \
+                     tolerance {:.0}%)",
+                    f.scale,
+                    f.metric,
+                    (1.0 - f.current / f.baseline) * 100.0,
+                    f.baseline,
+                    f.current,
+                    CHECK_TOLERANCE * 100.0
+                );
+            }
+            return ExitCode::FAILURE;
+        }
+        println!("baseline check passed ({path})");
+    }
+    ExitCode::SUCCESS
+}

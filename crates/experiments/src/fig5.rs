@@ -15,7 +15,7 @@
 
 use crate::setup::{Scale, Scenario, Topology};
 use prop_core::{ProbeMode, PropConfig, ProtocolSim};
-use prop_metrics::{avg_lookup_latency, TimeSeries};
+use prop_metrics::{par_avg_lookup_latency, TimeSeries};
 use prop_workloads::LookupGen;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -42,11 +42,11 @@ pub fn run_curve(scenario: &Scenario, cfg: PropConfig, scale: Scale, label: Stri
     let step = scale.sample_every();
     let horizon = scale.horizon();
     let mut elapsed = prop_engine::Duration::ZERO;
-    series.push(sim.now(), avg_lookup_latency(sim.net(), &gn, &pairs).mean_ms);
+    series.push(sim.now(), par_avg_lookup_latency(sim.net(), &gn, &pairs).mean_ms);
     while elapsed < horizon {
         sim.run_for(step);
         elapsed = elapsed + step;
-        series.push(sim.now(), avg_lookup_latency(sim.net(), &gn, &pairs).mean_ms);
+        series.push(sim.now(), par_avg_lookup_latency(sim.net(), &gn, &pairs).mean_ms);
     }
     let improvement = series.improvement().unwrap_or(0.0);
     Curve { series, improvement }

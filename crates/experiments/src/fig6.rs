@@ -7,15 +7,38 @@
 //! (c) physical topology. PROP-G's exchanges here are *identifier swaps* —
 //! the ring, fingers, and every DHT guarantee are untouched.
 
-use crate::fig5::Curve;
 use crate::setup::{Scale, Scenario, Topology};
 use prop_core::{ProbeMode, PropConfig, ProtocolSim};
-use prop_metrics::{path_stretch, TimeSeries};
+use prop_metrics::{par_path_stretch, TimeSeries};
 use prop_workloads::LookupGen;
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// One plotted stretch curve plus the workload's disposition — how many of
+/// the sampled pairs actually entered the mean at the final sample, and how
+/// many were dropped as undelivered or co-located. A stretch mean over a
+/// silently-shrunken workload would be biased; the counts make the
+/// denominator auditable in the JSON output.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StretchCurve {
+    pub series: TimeSeries,
+    /// Relative improvement start → end (0.25 = 25% lower).
+    pub improvement: f64,
+    /// Pairs delivered (and averaged) at the final sample.
+    pub delivered: u64,
+    /// Pairs the overlay failed to deliver at the final sample.
+    pub failed: u64,
+    /// Zero-physical-distance pairs excluded from the ratio.
+    pub skipped: u64,
+}
 
 /// Run PROP-G on this scenario's Chord overlay and sample path stretch.
-pub fn run_curve(scenario: &Scenario, cfg: PropConfig, scale: Scale, label: String) -> Curve {
+pub fn run_curve(
+    scenario: &Scenario,
+    cfg: PropConfig,
+    scale: Scale,
+    label: String,
+) -> StretchCurve {
     let (chord, net) = scenario.chord();
     let mut sim_rng = scenario.rng(&format!("fig6-sim-{label}"));
     let mut sim = ProtocolSim::new(net, cfg, &mut sim_rng);
@@ -27,18 +50,26 @@ pub fn run_curve(scenario: &Scenario, cfg: PropConfig, scale: Scale, label: Stri
     let step = scale.sample_every();
     let horizon = scale.horizon();
     let mut elapsed = prop_engine::Duration::ZERO;
-    series.push(sim.now(), path_stretch(sim.net(), &chord, &pairs));
+    let mut summary = par_path_stretch(sim.net(), &chord, &pairs);
+    series.push(sim.now(), summary.mean);
     while elapsed < horizon {
         sim.run_for(step);
         elapsed = elapsed + step;
-        series.push(sim.now(), path_stretch(sim.net(), &chord, &pairs));
+        summary = par_path_stretch(sim.net(), &chord, &pairs);
+        series.push(sim.now(), summary.mean);
     }
     let improvement = series.improvement().unwrap_or(0.0);
-    Curve { series, improvement }
+    StretchCurve {
+        series,
+        improvement,
+        delivered: summary.delivered,
+        failed: summary.failed,
+        skipped: summary.skipped,
+    }
 }
 
 /// Panel (a): vary the probe TTL at fixed n.
-pub fn panel_a(scale: Scale, seed: u64) -> Vec<Curve> {
+pub fn panel_a(scale: Scale, seed: u64) -> Vec<StretchCurve> {
     let n = scale.default_n();
     let topo = default_topology(scale);
     let scenario = Scenario::build(topo, n, seed);
@@ -57,7 +88,7 @@ pub fn panel_a(scale: Scale, seed: u64) -> Vec<Curve> {
 }
 
 /// Panel (b): vary the overlay size at `nhops = 2`.
-pub fn panel_b(scale: Scale, seed: u64) -> Vec<Curve> {
+pub fn panel_b(scale: Scale, seed: u64) -> Vec<StretchCurve> {
     let sizes: Vec<usize> = match scale {
         Scale::Paper => vec![300, 500, 1000, 3000],
         Scale::Quick => vec![60, 120, 240],
@@ -73,7 +104,7 @@ pub fn panel_b(scale: Scale, seed: u64) -> Vec<Curve> {
 }
 
 /// Panel (c): `ts-large` vs `ts-small` at the default n.
-pub fn panel_c(scale: Scale, seed: u64) -> Vec<Curve> {
+pub fn panel_c(scale: Scale, seed: u64) -> Vec<StretchCurve> {
     let n = scale.default_n();
     [Topology::TsLarge, Topology::TsSmall]
         .into_par_iter()
@@ -105,6 +136,20 @@ mod tests {
         }
         for c in &curves[1..] {
             assert!(c.improvement > 0.02, "{}: {:.3}", c.series.label, c.improvement);
+        }
+    }
+
+    #[test]
+    fn curves_account_for_every_sampled_pair() {
+        let curves = panel_c(Scale::Quick, 48);
+        for c in &curves {
+            assert_eq!(
+                c.delivered + c.failed + c.skipped,
+                Scale::Quick.lookups_per_sample() as u64,
+                "{}: workload disposition must cover the whole sample",
+                c.series.label
+            );
+            assert!(c.delivered > 0, "{}: nothing delivered", c.series.label);
         }
     }
 

@@ -18,7 +18,7 @@
 use crate::setup::{Scale, Scenario, Topology};
 use prop_baselines::{LtmConfig, LtmSim};
 use prop_core::{PropConfig, ProtocolSim};
-use prop_metrics::avg_lookup_latency;
+use prop_metrics::par_avg_lookup_latency;
 use prop_overlay::gnutella::Gnutella;
 use prop_overlay::{OverlayNet, Slot};
 use prop_workloads::hetero::HeteroAssignment;
@@ -144,7 +144,7 @@ pub fn run(scale: Scale, seed: u64) -> Vec<HeteroCurve> {
     net0.set_processing_delays(assignment.delay_ms.clone());
     let baseline: Vec<f64> = workloads
         .iter()
-        .map(|(_, pairs)| avg_lookup_latency(&net0, &gn0, &to_slot_pairs(&net0, pairs)).mean_ms)
+        .map(|(_, pairs)| par_avg_lookup_latency(&net0, &gn0, &to_slot_pairs(&net0, pairs)).mean_ms)
         .collect();
 
     let schemes = [
@@ -162,7 +162,8 @@ pub fn run(scale: Scale, seed: u64) -> Vec<HeteroCurve> {
                 .iter()
                 .zip(&baseline)
                 .map(|((f, pairs), &base)| {
-                    let mean = avg_lookup_latency(&net, &gn, &to_slot_pairs(&net, pairs)).mean_ms;
+                    let mean =
+                        par_avg_lookup_latency(&net, &gn, &to_slot_pairs(&net, pairs)).mean_ms;
                     (*f, mean / base)
                 })
                 .collect();

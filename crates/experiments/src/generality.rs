@@ -10,7 +10,7 @@
 
 use crate::setup::{Scale, Scenario, Topology};
 use prop_core::{PropConfig, ProtocolSim};
-use prop_metrics::{avg_lookup_latency, path_stretch};
+use prop_metrics::{par_avg_lookup_latency, par_path_stretch};
 use prop_overlay::can::Can;
 use prop_overlay::kademlia::{Kademlia, KademliaParams};
 use prop_overlay::pastry::{Pastry, PastryParams};
@@ -47,11 +47,11 @@ fn dht_row(
     net: OverlayNet,
     pairs: &[(Slot, Slot)],
 ) -> GeneralityRow {
-    let initial = path_stretch(&net, &overlay, pairs);
+    let initial = par_path_stretch(&net, &overlay, pairs).mean;
     let hops_before: Vec<Option<u32>> =
         pairs.iter().map(|&(a, b)| overlay.lookup(&net, a, b).map(|o| o.hops)).collect();
     let net = optimize(scenario, net, scale, label);
-    let final_ = path_stretch(&net, &overlay, pairs);
+    let final_ = par_path_stretch(&net, &overlay, pairs).mean;
     let hops_after: Vec<Option<u32>> =
         pairs.iter().map(|&(a, b)| overlay.lookup(&net, a, b).map(|o| o.hops)).collect();
     GeneralityRow {
@@ -81,10 +81,10 @@ pub fn run(scale: Scale, seed: u64) -> Vec<GeneralityRow> {
             // Gnutella: flooding has no per-lookup route, so the metric is
             // mean lookup latency and the checksum is the degree sequence.
             let (gn, net) = scenario.gnutella();
-            let initial = avg_lookup_latency(&net, &gn, &pairs).mean_ms;
+            let initial = par_avg_lookup_latency(&net, &gn, &pairs).mean_ms;
             let degseq = net.graph().degree_sequence();
             let net = optimize(&scenario, net, scale, "gnutella");
-            let final_ = avg_lookup_latency(&net, &gn, &pairs).mean_ms;
+            let final_ = par_avg_lookup_latency(&net, &gn, &pairs).mean_ms;
             GeneralityRow {
                 overlay: "Gnutella".into(),
                 metric: "avg lookup latency (ms)".into(),
@@ -102,10 +102,10 @@ pub fn run(scale: Scale, seed: u64) -> Vec<GeneralityRow> {
                 std::sync::Arc::clone(&scenario.oracle),
                 &mut rng,
             );
-            let initial = avg_lookup_latency(&net, &up, &pairs).mean_ms;
+            let initial = par_avg_lookup_latency(&net, &up, &pairs).mean_ms;
             let degseq = net.graph().degree_sequence();
             let net = optimize(&scenario, net, scale, "ultrapeer");
-            let final_ = avg_lookup_latency(&net, &up, &pairs).mean_ms;
+            let final_ = par_avg_lookup_latency(&net, &up, &pairs).mean_ms;
             GeneralityRow {
                 overlay: "Gnutella-2T".into(),
                 metric: "avg lookup latency (ms)".into(),

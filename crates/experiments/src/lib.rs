@@ -22,6 +22,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod generality;
+pub mod perf;
 pub mod plot;
 pub mod report;
 pub mod setup;

@@ -1,0 +1,374 @@
+//! perf — the measurement plane's committed performance trajectory.
+//!
+//! Times the pipeline stages that the parallel measurement plane
+//! optimizes, on the machine it runs on:
+//!
+//! 1. **Driver throughput** — PROP-G trials per wall-clock second over a
+//!    full horizon of the synchronous driver.
+//! 2. **Lookup throughput** — the same measurement workload through the
+//!    serial and the parallel measurement plane, with the bit-identity of
+//!    the two results asserted on every run.
+//! 3. **Flood work** — the [`FloodScratch`] relaxation counters per
+//!    lookup (edges scanned, distance improvements, frontier pushes): the
+//!    algorithmic cost of a flood, independent of the clock.
+//! 4. **Oracle hit rate** — the row-cache behaviour of the same workload
+//!    on the cached oracle tier sized to hold half the rows.
+//!
+//! The binary (`cargo run --release -p prop-experiments --bin perf`)
+//! runs both Quick and Paper scale and writes the report to
+//! `BENCH_PERF.json` at the repo root; CI re-runs the Quick entry and
+//! fails when a throughput metric regresses more than [`CHECK_TOLERANCE`]
+//! against the committed same-scale baseline entry. Wall-clock numbers
+//! are machine-dependent by nature — the committed file records the
+//! trajectory on the reference machine, and `--check` compares runs made
+//! on the *same* machine (CI runners, a developer box before/after a
+//! change).
+
+use crate::setup::{Scale, Scenario, Topology};
+use prop_core::{PropConfig, ProtocolSim};
+use prop_engine::{Duration, SimRng};
+use prop_metrics::{avg_lookup_latency, par_avg_lookup_latency};
+use prop_netsim::{generate, LatencyOracle, OracleConfig};
+use prop_overlay::gnutella::{Gnutella, GnutellaParams};
+use prop_overlay::{FloodScratch, Slot};
+use prop_workloads::LookupGen;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Maximum tolerated relative regression under `--check`: a metric must
+/// stay above `baseline × (1 − CHECK_TOLERANCE)`.
+pub const CHECK_TOLERANCE: f64 = 0.25;
+
+/// The whole report, as committed to `BENCH_PERF.json`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// `"generated"` for real runs. The committed placeholder carries
+    /// `"placeholder"` until the file is regenerated on a networked
+    /// machine; `--check` treats anything but `"generated"` as
+    /// record-only.
+    pub status: String,
+    /// How to regenerate this file.
+    pub regenerate: String,
+    pub seed: u64,
+    /// Rayon worker count the parallel numbers were taken with.
+    pub threads: usize,
+    /// One entry per scale run; the default binary invocation runs both
+    /// Quick and Paper.
+    pub entries: Vec<PerfEntry>,
+}
+
+/// One scale's numbers.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PerfEntry {
+    /// `"quick"` or `"paper"`.
+    pub scale: String,
+    pub metrics: PerfMetrics,
+}
+
+/// The numbers CI tracks.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PerfMetrics {
+    /// PROP-G trials per wall-clock second (synchronous driver).
+    pub driver_trials_per_sec: f64,
+    /// Driver trials executed during the timed horizon.
+    pub driver_trials: u64,
+    /// Flood lookups per second through the serial measurement plane.
+    pub serial_lookups_per_sec: f64,
+    /// Flood lookups per second through the parallel measurement plane.
+    pub parallel_lookups_per_sec: f64,
+    /// parallel / serial throughput.
+    pub parallel_speedup: f64,
+    /// Serial and parallel summaries agreed bit-for-bit (always asserted;
+    /// recorded so the JSON is self-describing).
+    pub bitwise_identical: bool,
+    /// Mean flood-engine edge relaxation attempts per lookup.
+    pub flood_edges_scanned_per_lookup: f64,
+    /// Mean accepted distance improvements per lookup.
+    pub flood_improvements_per_lookup: f64,
+    /// Mean deduplicated frontier admissions per lookup.
+    pub flood_frontier_pushes_per_lookup: f64,
+    /// Row-cache hit rate of the workload on the cached oracle tier sized
+    /// to half the member rows.
+    pub oracle_hit_rate: f64,
+}
+
+/// One metric's `--check` verdict.
+#[derive(Clone, Debug)]
+pub struct CheckFailure {
+    pub scale: String,
+    pub metric: &'static str,
+    pub baseline: f64,
+    pub current: f64,
+}
+
+/// Run the suite at the given scales (deduplicated, in order).
+pub fn run(scales: &[Scale], seed: u64) -> PerfReport {
+    let mut entries = Vec::new();
+    for &scale in scales {
+        let label = scale_label(scale);
+        if entries.iter().any(|e: &PerfEntry| e.scale == label) {
+            continue;
+        }
+        let topo = match scale {
+            Scale::Paper => Topology::TsLarge,
+            Scale::Quick => Topology::TsSmall,
+        };
+        let reps = match scale {
+            Scale::Paper => 3,
+            Scale::Quick => 10,
+        };
+        let metrics = run_metrics(
+            topo,
+            scale.default_n(),
+            scale.horizon(),
+            scale.lookups_per_sample(),
+            reps,
+            seed,
+        );
+        entries.push(PerfEntry { scale: label.to_string(), metrics });
+    }
+    PerfReport {
+        status: "generated".to_string(),
+        regenerate: "cargo run --release -p prop-experiments --bin perf".to_string(),
+        seed,
+        threads: rayon::current_num_threads(),
+        entries,
+    }
+}
+
+fn scale_label(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Paper => "paper",
+        Scale::Quick => "quick",
+    }
+}
+
+/// The measurement core, parameterized so tests can run a miniature
+/// configuration.
+pub fn run_metrics(
+    topo: Topology,
+    n: usize,
+    horizon: Duration,
+    lookups: usize,
+    reps: usize,
+    seed: u64,
+) -> PerfMetrics {
+    let scenario = Scenario::build(topo, n, seed);
+    let (gn, net) = scenario.gnutella();
+    let pairs =
+        LookupGen::new(&scenario.rng("perf-lookups")).uniform_pairs(&scenario.all_slots(), lookups);
+
+    // Stage 1: driver throughput over the full horizon, ending with the
+    // optimized overlay the lookup stages measure.
+    let mut rng = scenario.rng("perf-driver");
+    let mut sim = ProtocolSim::new(net, PropConfig::prop_g(), &mut rng);
+    let t = Instant::now();
+    sim.run_for(horizon);
+    let driver_secs = t.elapsed().as_secs_f64().max(1e-9);
+    let driver_trials = sim.overhead().trials;
+    let net = sim.into_net();
+
+    // Stage 2: serial vs parallel lookup throughput on identical work.
+    let t = Instant::now();
+    let mut serial = avg_lookup_latency(&net, &gn, &pairs);
+    for _ in 1..reps {
+        serial = avg_lookup_latency(&net, &gn, &pairs);
+    }
+    let serial_secs = t.elapsed().as_secs_f64().max(1e-9);
+
+    let t = Instant::now();
+    let mut parallel = par_avg_lookup_latency(&net, &gn, &pairs);
+    for _ in 1..reps {
+        parallel = par_avg_lookup_latency(&net, &gn, &pairs);
+    }
+    let parallel_secs = t.elapsed().as_secs_f64().max(1e-9);
+
+    let bitwise_identical = serial.mean_ms.to_bits() == parallel.mean_ms.to_bits()
+        && serial.mean_hops.to_bits() == parallel.mean_hops.to_bits()
+        && serial.delivered == parallel.delivered
+        && serial.failed == parallel.failed;
+    assert!(bitwise_identical, "parallel plane diverged from serial: {serial:?} vs {parallel:?}");
+
+    let total_lookups = (pairs.len() * reps) as f64;
+    let serial_lookups_per_sec = total_lookups / serial_secs;
+    let parallel_lookups_per_sec = total_lookups / parallel_secs;
+
+    // Stage 3: the flood engine's relaxation counters over one workload
+    // pass — deterministic, clock-independent cost accounting.
+    let mut scratch = FloodScratch::new();
+    for &(src, dst) in &pairs {
+        let _ = net.min_latency_within_hops_with(src, dst, gn.params.flood_ttl, &mut scratch);
+    }
+    let per_lookup = |c: u64| c as f64 / pairs.len() as f64;
+
+    // Stage 4: the same overlay family on the cached oracle tier, sized to
+    // hold half the member rows, so the workload produces both hits and
+    // evictions.
+    let oracle_hit_rate = cached_tier_hit_rate(topo, n, lookups, seed);
+
+    PerfMetrics {
+        driver_trials_per_sec: driver_trials as f64 / driver_secs,
+        driver_trials,
+        serial_lookups_per_sec,
+        parallel_lookups_per_sec,
+        parallel_speedup: parallel_lookups_per_sec / serial_lookups_per_sec,
+        bitwise_identical,
+        flood_edges_scanned_per_lookup: per_lookup(scratch.edges_scanned()),
+        flood_improvements_per_lookup: per_lookup(scratch.improvements()),
+        flood_frontier_pushes_per_lookup: per_lookup(scratch.frontier_pushes()),
+        oracle_hit_rate,
+    }
+}
+
+fn cached_tier_hit_rate(topo: Topology, n: usize, lookups: usize, seed: u64) -> f64 {
+    let mut rng = SimRng::seed_from(seed ^ 0x9e37_79b9);
+    let phys = generate(&topo.params(), &mut rng);
+    let row_bytes = 4 * n;
+    let cfg = OracleConfig::cached((row_bytes * n / 2).max(1));
+    let oracle = Arc::new(LatencyOracle::select_and_build_with(&phys, n, &mut rng, &cfg));
+    let (gn, net) = Gnutella::build(GnutellaParams::default(), oracle, &mut rng);
+    let live: Vec<Slot> = net.graph().live_slots().collect();
+    let pairs = LookupGen::new(&rng).uniform_pairs(&live, lookups);
+    let _ = par_avg_lookup_latency(&net, &gn, &pairs);
+    net.oracle_cache_stats().map(|s| s.hit_rate()).unwrap_or(f64::NAN)
+}
+
+/// Compare a fresh report against a committed baseline (parsed JSON).
+///
+/// Only the wall-clock throughput metrics are gated, and only against the
+/// baseline entry of the *same scale*. A metric is skipped — record-only —
+/// when the baseline is a placeholder (`status` ≠ `"generated"`), has no
+/// matching-scale entry, or the value is absent, null, or non-positive:
+/// a newly added metric or an ungenerated committed file never fails the
+/// gate.
+pub fn check_against_baseline(
+    report: &PerfReport,
+    baseline: &serde_json::Value,
+) -> Vec<CheckFailure> {
+    if baseline.get("status").and_then(|s| s.as_str()) != Some("generated") {
+        return Vec::new();
+    }
+    let empty = Vec::new();
+    let base_entries = baseline.get("entries").and_then(|e| e.as_array()).unwrap_or(&empty);
+    let mut failures = Vec::new();
+    for entry in &report.entries {
+        let Some(base) = base_entries
+            .iter()
+            .find(|b| b.get("scale").and_then(|s| s.as_str()) == Some(entry.scale.as_str()))
+        else {
+            continue;
+        };
+        let gated: [(&'static str, f64); 3] = [
+            ("driver_trials_per_sec", entry.metrics.driver_trials_per_sec),
+            ("serial_lookups_per_sec", entry.metrics.serial_lookups_per_sec),
+            ("parallel_lookups_per_sec", entry.metrics.parallel_lookups_per_sec),
+        ];
+        for (name, current) in gated {
+            let base_val = base
+                .get("metrics")
+                .and_then(|m| m.get(name))
+                .and_then(|v| v.as_f64())
+                .filter(|v| v.is_finite() && *v > 0.0);
+            if let Some(base_val) = base_val {
+                if current < base_val * (1.0 - CHECK_TOLERANCE) {
+                    failures.push(CheckFailure {
+                        scale: entry.scale.clone(),
+                        metric: name,
+                        baseline: base_val,
+                        current,
+                    });
+                }
+            }
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn miniature() -> PerfMetrics {
+        run_metrics(Topology::Tiny, 24, Duration::from_minutes(2), 60, 1, 7)
+    }
+
+    #[test]
+    fn miniature_run_produces_sane_metrics() {
+        let m = miniature();
+        assert!(m.bitwise_identical);
+        assert!(m.driver_trials > 0);
+        assert!(m.driver_trials_per_sec > 0.0);
+        assert!(m.serial_lookups_per_sec > 0.0 && m.parallel_lookups_per_sec > 0.0);
+        // Every lookup floods at least one edge out of the source.
+        assert!(m.flood_edges_scanned_per_lookup >= 1.0);
+        assert!(m.flood_improvements_per_lookup > 0.0);
+        assert!(m.flood_frontier_pushes_per_lookup > 0.0);
+        assert!((0.0..=1.0).contains(&m.oracle_hit_rate), "hit rate {}", m.oracle_hit_rate);
+        // Each flood round re-queries a frontier row once per neighbor, so
+        // even the half-sized cache must serve a solid hit fraction.
+        assert!(m.oracle_hit_rate > 0.5, "hit rate {}", m.oracle_hit_rate);
+    }
+
+    fn report_with(scale: &str, trials_per_sec: f64) -> PerfReport {
+        PerfReport {
+            status: "generated".into(),
+            regenerate: String::new(),
+            seed: 1,
+            threads: 1,
+            entries: vec![PerfEntry {
+                scale: scale.into(),
+                metrics: PerfMetrics {
+                    driver_trials_per_sec: trials_per_sec,
+                    driver_trials: 1000,
+                    serial_lookups_per_sec: 100.0,
+                    parallel_lookups_per_sec: 100.0,
+                    parallel_speedup: 1.0,
+                    bitwise_identical: true,
+                    flood_edges_scanned_per_lookup: 1.0,
+                    flood_improvements_per_lookup: 1.0,
+                    flood_frontier_pushes_per_lookup: 1.0,
+                    oracle_hit_rate: 0.9,
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn check_skips_placeholder_and_gates_generated() {
+        let report = report_with("quick", 100.0);
+
+        // Placeholder baselines never gate.
+        let placeholder = serde_json::json!({ "status": "placeholder" });
+        assert!(check_against_baseline(&report, &placeholder).is_empty());
+
+        // Null / missing metrics are record-only.
+        let partial = serde_json::json!({
+            "status": "generated",
+            "entries": [{ "scale": "quick", "metrics": { "driver_trials_per_sec": null } }]
+        });
+        assert!(check_against_baseline(&report, &partial).is_empty());
+
+        // A baseline entry at a different scale never gates this run.
+        let other_scale = serde_json::json!({
+            "status": "generated",
+            "entries": [{ "scale": "paper", "metrics": { "driver_trials_per_sec": 500.0 } }]
+        });
+        assert!(check_against_baseline(&report, &other_scale).is_empty());
+
+        // Within tolerance passes; beyond it fails.
+        let close = serde_json::json!({
+            "status": "generated",
+            "entries": [{ "scale": "quick", "metrics": { "driver_trials_per_sec": 120.0 } }]
+        });
+        assert!(check_against_baseline(&report, &close).is_empty());
+        let far = serde_json::json!({
+            "status": "generated",
+            "entries": [{ "scale": "quick", "metrics": { "driver_trials_per_sec": 500.0 } }]
+        });
+        let failures = check_against_baseline(&report, &far);
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].metric, "driver_trials_per_sec");
+        assert_eq!(failures[0].scale, "quick");
+    }
+}

@@ -8,6 +8,7 @@
 //! PROP leaves it untouched. This module counts it exactly.
 
 use prop_overlay::{LogicalGraph, OverlayNet, Slot};
+use rayon::prelude::*;
 
 /// Number of messages a TTL-limited flood from `src` generates: each node
 /// reached with remaining TTL > 0 forwards to all neighbors except the one
@@ -49,6 +50,17 @@ pub fn mean_flood_messages(net: &OverlayNet, sources: &[Slot], ttl: u32) -> f64 
         return f64::NAN;
     }
     let total: u64 = sources.iter().map(|&s| flood_messages(net.graph(), s, ttl)).sum();
+    total as f64 / sources.len() as f64
+}
+
+/// [`mean_flood_messages`] fanned out over rayon workers. Message counts
+/// are integers, so the u64 total — and therefore the mean — is
+/// bit-identical to the serial function under any reduction order.
+pub fn par_mean_flood_messages(net: &OverlayNet, sources: &[Slot], ttl: u32) -> f64 {
+    if sources.is_empty() {
+        return f64::NAN;
+    }
+    let total: u64 = sources.par_iter().map(|&s| flood_messages(net.graph(), s, ttl)).sum();
     total as f64 / sources.len() as f64
 }
 
@@ -99,6 +111,27 @@ mod tests {
             flood_messages(&dense, Slot(0), 3) > flood_messages(&sparse, Slot(0), 3),
             "denser graphs must cost more per flood"
         );
+    }
+
+    #[test]
+    fn parallel_mean_matches_serial_bitwise() {
+        use prop_engine::SimRng;
+        use prop_netsim::{generate, LatencyOracle, TransitStubParams};
+        use prop_overlay::{OverlayNet, Placement};
+        use std::sync::Arc;
+
+        let mut rng = SimRng::seed_from(20);
+        let phys = generate(&TransitStubParams::tiny(), &mut rng);
+        let oracle = Arc::new(LatencyOracle::select_and_build(&phys, 12, &mut rng));
+        let mut g = ring(12);
+        for i in 0..12u32 {
+            g.add_edge(Slot(i), Slot((i + 3) % 12));
+        }
+        let net = OverlayNet::new(g, Placement::identity(12), oracle);
+        let sources: Vec<Slot> = (0..12u32).map(Slot).collect();
+        let serial = mean_flood_messages(&net, &sources, 4);
+        let parallel = par_mean_flood_messages(&net, &sources, 4);
+        assert_eq!(serial.to_bits(), parallel.to_bits());
     }
 
     #[test]

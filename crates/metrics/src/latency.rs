@@ -1,7 +1,14 @@
 //! Average lookup latency.
+//!
+//! Accumulation is exact: latencies and hop counts are integers, so the
+//! totals are integer sums and the means are computed once at the end.
+//! That is what makes [`par_avg_lookup_latency`] bit-identical to
+//! [`avg_lookup_latency`] under any chunking and worker count (see
+//! [`crate::plane`]).
 
-use prop_engine::stats::Accumulator;
-use prop_overlay::{Lookup, OverlayNet, Slot};
+use crate::plane::{warm_pair_rows, MEASURE_CHUNK};
+use prop_overlay::{FloodScratch, Lookup, OverlayNet, Slot};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Result of measuring a lookup workload.
@@ -16,25 +23,86 @@ pub struct LatencySummary {
     pub failed: u64,
 }
 
+/// Exact integer totals of a (partial) latency workload. Merging is integer
+/// addition — associative and commutative — so any reduction tree over any
+/// partition of the pairs yields the same totals.
+#[derive(Clone, Copy, Debug, Default)]
+struct LatencyTotals {
+    latency_ms: u128,
+    hops: u64,
+    delivered: u64,
+    failed: u64,
+}
+
+impl LatencyTotals {
+    fn measure(
+        net: &OverlayNet,
+        overlay: &impl Lookup,
+        pairs: &[(Slot, Slot)],
+        scratch: &mut FloodScratch,
+    ) -> Self {
+        let mut t = LatencyTotals::default();
+        for &(src, dst) in pairs {
+            match overlay.lookup_with(net, src, dst, scratch) {
+                Some(out) => {
+                    t.latency_ms += out.latency_ms as u128;
+                    t.hops += out.hops as u64;
+                    t.delivered += 1;
+                }
+                None => t.failed += 1,
+            }
+        }
+        t
+    }
+
+    fn merge(self, other: Self) -> Self {
+        LatencyTotals {
+            latency_ms: self.latency_ms + other.latency_ms,
+            hops: self.hops + other.hops,
+            delivered: self.delivered + other.delivered,
+            failed: self.failed + other.failed,
+        }
+    }
+
+    fn summary(self) -> LatencySummary {
+        LatencySummary {
+            mean_ms: self.latency_ms as f64 / self.delivered as f64,
+            mean_hops: self.hops as f64 / self.delivered as f64,
+            delivered: self.delivered,
+            failed: self.failed,
+        }
+    }
+}
+
 /// Run every pair through the overlay's lookup discipline and summarize.
 pub fn avg_lookup_latency(
     net: &OverlayNet,
     overlay: &impl Lookup,
     pairs: &[(Slot, Slot)],
 ) -> LatencySummary {
-    let mut lat = Accumulator::new();
-    let mut hops = Accumulator::new();
-    let mut failed = 0u64;
-    for &(src, dst) in pairs {
-        match overlay.lookup(net, src, dst) {
-            Some(out) => {
-                lat.add(out.latency_ms as f64);
-                hops.add(out.hops as f64);
-            }
-            None => failed += 1,
-        }
-    }
-    LatencySummary { mean_ms: lat.mean(), mean_hops: hops.mean(), delivered: lat.count(), failed }
+    let mut scratch = FloodScratch::new();
+    LatencyTotals::measure(net, overlay, pairs, &mut scratch).summary()
+}
+
+/// [`avg_lookup_latency`] fanned out over rayon workers: the pair list is
+/// chunked, each worker measures its chunks with a private
+/// [`FloodScratch`], and the exact integer totals are merged. Bit-identical
+/// to the serial function for every worker count; oracle rows for the
+/// workload's slots are prefetched before the fan-out.
+pub fn par_avg_lookup_latency(
+    net: &OverlayNet,
+    overlay: &impl Lookup,
+    pairs: &[(Slot, Slot)],
+) -> LatencySummary {
+    warm_pair_rows(net, pairs);
+    pairs
+        .par_chunks(MEASURE_CHUNK)
+        .map(|chunk| {
+            let mut scratch = FloodScratch::new();
+            LatencyTotals::measure(net, overlay, chunk, &mut scratch)
+        })
+        .reduce(LatencyTotals::default, LatencyTotals::merge)
+        .summary()
 }
 
 #[cfg(test)]
@@ -82,5 +150,20 @@ mod tests {
         let s = avg_lookup_latency(&net, &gn, &[]);
         assert_eq!(s.delivered, 0);
         assert!(s.mean_ms.is_nan());
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let (gn, net, rng) = setup(30, 4);
+        let live: Vec<Slot> = net.graph().live_slots().collect();
+        // Deliberately not a multiple of MEASURE_CHUNK: exercises the
+        // ragged tail chunk.
+        let pairs = LookupGen::new(&rng).uniform_pairs(&live, 700);
+        let serial = avg_lookup_latency(&net, &gn, &pairs);
+        let parallel = par_avg_lookup_latency(&net, &gn, &pairs);
+        assert_eq!(serial.mean_ms.to_bits(), parallel.mean_ms.to_bits());
+        assert_eq!(serial.mean_hops.to_bits(), parallel.mean_hops.to_bits());
+        assert_eq!(serial.delivered, parallel.delivered);
+        assert_eq!(serial.failed, parallel.failed);
     }
 }

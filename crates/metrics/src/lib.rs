@@ -15,6 +15,9 @@
 //! * [`faultstats`] — fault-plane counters (drops, dups, reorders,
 //!   partition time, crashed-commit aborts) with derived rates, for the
 //!   robustness sweeps.
+//! * [`plane`] — the parallel measurement plane's determinism machinery:
+//!   the fixed chunk size and the oracle-row prefetch that make the
+//!   `par_*` measurement variants bit-identical to their serial twins.
 
 pub mod convergence;
 pub mod degree;
@@ -23,14 +26,16 @@ pub mod floodcost;
 pub mod histogram;
 pub mod latency;
 pub mod oraclestats;
+pub mod plane;
 pub mod stretch;
 pub mod timeseries;
 
 pub use convergence::{convergence, Convergence};
 pub use faultstats::FaultReport;
-pub use floodcost::{flood_messages, mean_flood_messages};
+pub use floodcost::{flood_messages, mean_flood_messages, par_mean_flood_messages};
 pub use histogram::{class_breakdown, ClassBreakdown, LatencyCdf};
-pub use latency::{avg_lookup_latency, LatencySummary};
+pub use latency::{avg_lookup_latency, par_avg_lookup_latency, LatencySummary};
 pub use oraclestats::OracleCacheReport;
-pub use stretch::{link_stretch, path_stretch};
+pub use plane::{warm_pair_rows, MEASURE_CHUNK};
+pub use stretch::{link_stretch, par_path_stretch, path_stretch, StretchSummary};
 pub use timeseries::TimeSeries;

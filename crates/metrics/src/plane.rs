@@ -1,0 +1,53 @@
+//! The measurement plane's determinism machinery.
+//!
+//! Every figure panel measures the overlay by running thousands of lookups
+//! over a pair workload. The plane parallelizes that over rayon workers
+//! under one contract: **the parallel result is bit-identical to the serial
+//! result, for every worker count.** Two mechanisms deliver it:
+//!
+//! * **Exact integer accumulation** wherever the measured quantities are
+//!   integers (lookup latency in ms, hops, flood message counts): integer
+//!   addition is associative and commutative, so any reduction order — any
+//!   chunking, any number of workers, rayon's join tree included — produces
+//!   the same totals, and the floating-point mean is computed exactly once
+//!   from them.
+//! * **Fixed-size chunking** where the per-pair quantity is itself a float
+//!   (path stretch is a latency ratio): the pair list is split into
+//!   [`MEASURE_CHUNK`]-sized chunks — a constant, *never* a function of the
+//!   worker count — each chunk is summed sequentially, and the per-chunk
+//!   partials are folded in chunk-index order. The serial path runs the
+//!   identical chunked computation, so parallel == serial bit-for-bit even
+//!   though f64 addition is not associative.
+//!
+//! Each worker owns a [`prop_overlay::FloodScratch`], so flooding overlays
+//! allocate nothing per lookup, and entry points prefetch the oracle rows
+//! of every slot named by the workload (one batched, rayon-parallel warm —
+//! see [`warm_pair_rows`]) so row-cache misses become parallel Dijkstras up
+//! front instead of contended stalls inside the measurement loop.
+
+use prop_overlay::{OverlayNet, Slot};
+
+/// Chunk size for the measurement plane's pair-list decomposition.
+///
+/// This is the determinism anchor for float-valued metrics: both the serial
+/// and parallel paths sum per-chunk partials over exactly these chunks and
+/// fold them in chunk-index order. It must stay a constant — deriving it
+/// from the worker count would make results depend on the machine. 256
+/// pairs amortize the per-chunk scratch setup while still splitting a
+/// 2,000-pair sample round across every core of any machine this runs on.
+pub const MEASURE_CHUNK: usize = 256;
+
+/// Prefetch the oracle rows behind a pair workload: dedups every slot named
+/// in `pairs` and batch-warms their rows (no-op on the dense tier,
+/// rayon-parallel Dijkstras on the row-cache tier). Measurement entry
+/// points call this before fanning out so workers start from a warm cache.
+pub fn warm_pair_rows(net: &OverlayNet, pairs: &[(Slot, Slot)]) {
+    let mut slots: Vec<Slot> = Vec::with_capacity(pairs.len() * 2);
+    for &(a, b) in pairs {
+        slots.push(a);
+        slots.push(b);
+    }
+    slots.sort_unstable();
+    slots.dedup();
+    net.warm_latency_rows(&slots);
+}

@@ -1,7 +1,9 @@
 //! Stretch (§4.2): how well the logical topology matches the physical one.
 
-use prop_engine::stats::Accumulator;
-use prop_overlay::{Lookup, OverlayNet, Slot};
+use crate::plane::{warm_pair_rows, MEASURE_CHUNK};
+use prop_overlay::{FloodScratch, Lookup, OverlayNet, Slot};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
 
 /// *Link stretch*: mean logical link latency / mean physical link latency.
 /// This is the paper's headline definition — the numerator is exactly the
@@ -10,22 +12,112 @@ pub fn link_stretch(net: &OverlayNet) -> f64 {
     net.stretch()
 }
 
+/// Result of measuring path stretch over a pair workload. Mirrors
+/// [`crate::LatencySummary`]: the mean alone hides how much of the workload
+/// actually contributed, so the disposition of every pair is reported.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct StretchSummary {
+    /// Mean over delivered, non-co-located pairs of (route latency /
+    /// direct physical latency). `NaN` when nothing was delivered.
+    pub mean: f64,
+    /// Pairs the overlay delivered and that entered the mean.
+    pub delivered: u64,
+    /// Pairs the overlay failed to deliver (e.g. flood TTL expired).
+    pub failed: u64,
+    /// Pairs with zero physical distance (co-located hosts), for which the
+    /// ratio is undefined; excluded from the mean.
+    pub skipped: u64,
+}
+
+/// Partial sums over one fixed-size chunk of the workload. The ratio sum is
+/// an f64 — *not* associative — so bit-determinism comes from the chunking
+/// itself: chunks are [`MEASURE_CHUNK`]-sized regardless of worker count,
+/// each chunk is summed sequentially, and partials are folded in
+/// chunk-index order (see [`crate::plane`]).
+#[derive(Clone, Copy, Debug, Default)]
+struct StretchPartial {
+    ratio_sum: f64,
+    delivered: u64,
+    failed: u64,
+    skipped: u64,
+}
+
+impl StretchPartial {
+    fn measure(
+        net: &OverlayNet,
+        overlay: &impl Lookup,
+        chunk: &[(Slot, Slot)],
+        scratch: &mut FloodScratch,
+    ) -> Self {
+        let mut p = StretchPartial::default();
+        for &(src, dst) in chunk {
+            let direct = net.d(src, dst);
+            if direct == 0 {
+                p.skipped += 1;
+                continue;
+            }
+            match overlay.lookup_with(net, src, dst, scratch) {
+                Some(out) => {
+                    p.ratio_sum += out.latency_ms as f64 / direct as f64;
+                    p.delivered += 1;
+                }
+                None => p.failed += 1,
+            }
+        }
+        p
+    }
+}
+
+fn fold_partials(partials: Vec<StretchPartial>) -> StretchSummary {
+    let mut sum = 0.0;
+    let mut delivered = 0u64;
+    let mut failed = 0u64;
+    let mut skipped = 0u64;
+    for p in partials {
+        sum += p.ratio_sum;
+        delivered += p.delivered;
+        failed += p.failed;
+        skipped += p.skipped;
+    }
+    StretchSummary { mean: sum / delivered as f64, delivered, failed, skipped }
+}
+
 /// *Path stretch*: mean over lookups of (overlay route latency) /
 /// (direct physical latency). The natural reading for DHTs, where a lookup
 /// has a well-defined route; used for the Chord experiments (Fig. 6).
-/// Pairs with zero physical distance (co-located hosts) are skipped.
-pub fn path_stretch(net: &OverlayNet, overlay: &impl Lookup, pairs: &[(Slot, Slot)]) -> f64 {
-    let mut acc = Accumulator::new();
-    for &(src, dst) in pairs {
-        let direct = net.d(src, dst);
-        if direct == 0 {
-            continue;
-        }
-        if let Some(out) = overlay.lookup(net, src, dst) {
-            acc.add(out.latency_ms as f64 / direct as f64);
-        }
-    }
-    acc.mean()
+/// Pairs with zero physical distance and undelivered lookups are excluded
+/// from the mean but reported in the summary.
+pub fn path_stretch(
+    net: &OverlayNet,
+    overlay: &impl Lookup,
+    pairs: &[(Slot, Slot)],
+) -> StretchSummary {
+    let mut scratch = FloodScratch::new();
+    let partials = pairs
+        .chunks(MEASURE_CHUNK)
+        .map(|chunk| StretchPartial::measure(net, overlay, chunk, &mut scratch))
+        .collect();
+    fold_partials(partials)
+}
+
+/// [`path_stretch`] fanned out over rayon workers. Bit-identical to the
+/// serial function for every worker count: both run the same fixed-chunk
+/// computation, only the chunk scheduling differs. Oracle rows for the
+/// workload's slots are prefetched before the fan-out.
+pub fn par_path_stretch(
+    net: &OverlayNet,
+    overlay: &impl Lookup,
+    pairs: &[(Slot, Slot)],
+) -> StretchSummary {
+    warm_pair_rows(net, pairs);
+    let partials = pairs
+        .par_chunks(MEASURE_CHUNK)
+        .map(|chunk| {
+            let mut scratch = FloodScratch::new();
+            StretchPartial::measure(net, overlay, chunk, &mut scratch)
+        })
+        .collect();
+    fold_partials(partials)
 }
 
 #[cfg(test)]
@@ -52,8 +144,9 @@ mod tests {
         let live: Vec<Slot> = net.graph().live_slots().collect();
         let pairs = LookupGen::new(&rng).uniform_pairs(&live, 400);
         let s = path_stretch(&net, &ch, &pairs);
-        assert!(s >= 1.0, "stretch {s}");
-        assert!(s.is_finite());
+        assert!(s.mean >= 1.0, "stretch {}", s.mean);
+        assert!(s.mean.is_finite());
+        assert_eq!(s.delivered + s.failed + s.skipped, 400);
     }
 
     #[test]
@@ -85,5 +178,19 @@ mod tests {
         }
         assert!(applied, "no beneficial swap found in a random placement");
         assert!(link_stretch(&net) < before);
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let (ch, net, rng) = chord(30, 4);
+        let live: Vec<Slot> = net.graph().live_slots().collect();
+        // Not a multiple of MEASURE_CHUNK: exercises the ragged tail.
+        let pairs = LookupGen::new(&rng).uniform_pairs(&live, 650);
+        let serial = path_stretch(&net, &ch, &pairs);
+        let parallel = par_path_stretch(&net, &ch, &pairs);
+        assert_eq!(serial.mean.to_bits(), parallel.mean.to_bits());
+        assert_eq!(serial.delivered, parallel.delivered);
+        assert_eq!(serial.failed, parallel.failed);
+        assert_eq!(serial.skipped, parallel.skipped);
     }
 }

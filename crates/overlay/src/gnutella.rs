@@ -147,6 +147,17 @@ impl Lookup for Gnutella {
         net.min_latency_within_hops(src, dst, self.params.flood_ttl)
             .map(|(latency_ms, hops)| RouteOutcome { latency_ms, hops })
     }
+
+    fn lookup_with(
+        &self,
+        net: &OverlayNet,
+        src: Slot,
+        dst: Slot,
+        scratch: &mut crate::FloodScratch,
+    ) -> Option<RouteOutcome> {
+        net.min_latency_within_hops_with(src, dst, self.params.flood_ttl, scratch)
+            .map(|(latency_ms, hops)| RouteOutcome { latency_ms, hops })
+    }
 }
 
 #[cfg(test)]

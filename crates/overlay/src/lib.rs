@@ -37,7 +37,7 @@ pub mod ultrapeer;
 pub mod walk;
 
 pub use logical::{LogicalGraph, Slot};
-pub use net::OverlayNet;
+pub use net::{FloodScratch, OverlayNet};
 pub use placement::Placement;
 
 /// A routed lookup's outcome: total latency in ms (links + per-hop
@@ -54,7 +54,26 @@ pub struct RouteOutcome {
 ///
 /// `None` means the overlay failed to deliver (e.g. a Gnutella flood whose
 /// TTL expired before reaching `dst`).
-pub trait Lookup {
+///
+/// `Sync` is a supertrait so the measurement plane can share one overlay
+/// across rayon workers; every overlay here is plain data, so the bound
+/// costs nothing.
+pub trait Lookup: Sync {
     /// Route from slot `src` to slot `dst` over `net`.
     fn lookup(&self, net: &OverlayNet, src: Slot, dst: Slot) -> Option<RouteOutcome>;
+
+    /// [`Lookup::lookup`] with caller-owned flood scratch. Flooding overlays
+    /// override this to reuse the scratch's buffers across calls (the
+    /// measurement-plane hot path: one scratch per worker, thousands of
+    /// lookups each); routed overlays keep the default, which ignores the
+    /// scratch. Must return exactly what `lookup` returns.
+    fn lookup_with(
+        &self,
+        net: &OverlayNet,
+        src: Slot,
+        dst: Slot,
+        _scratch: &mut FloodScratch,
+    ) -> Option<RouteOutcome> {
+        self.lookup(net, src, dst)
+    }
 }

@@ -17,6 +17,160 @@ use prop_netsim::oracle::MemberIdx;
 use prop_netsim::LatencyOracle;
 use std::sync::Arc;
 
+/// Reusable per-worker scratch state for repeated flood evaluations.
+///
+/// The hop-bounded Bellman–Ford behind [`OverlayNet::min_latency_within_hops`]
+/// needs a dist array, a frontier, and a next-frontier per call; a measurement
+/// sweep runs thousands of floods back to back, so allocating those fresh each
+/// time dominates the profile. `FloodScratch` keeps them alive across calls:
+///
+/// * **epoch-tagged dist** — `dist[v]` is valid only when `dist_tick[v]`
+///   equals the current flood's epoch, so "clearing" the array between floods
+///   is a single counter increment, not an O(n) fill;
+/// * **deduped next-frontier** — `next_tick[v]` stamps the round in which `v`
+///   entered the next frontier, so a slot improved by several frontier nodes
+///   in the same round is relayed once, not once per improvement;
+/// * **swap buffers** — the frontier and next-frontier vectors are reused
+///   (and swapped) rather than reallocated each round.
+///
+/// The scratch also keeps cumulative work counters (edge scans, dist
+/// improvements, frontier pushes) so benchmarks and regression tests can
+/// assert the flood does the amount of work the algorithm promises.
+///
+/// One scratch serves floods over nets of any size (`ensure` grows it), but
+/// it must not be shared between threads — give each worker its own.
+#[derive(Clone, Debug, Default)]
+pub struct FloodScratch {
+    /// Monotone counter doubling as flood epoch and round stamp; unique
+    /// values across all calls make stale tags unambiguous.
+    tick: u64,
+    dist: Vec<u64>,
+    dist_tick: Vec<u64>,
+    next_tick: Vec<u64>,
+    frontier: Vec<(Slot, u64)>,
+    next: Vec<Slot>,
+    edges_scanned: u64,
+    improvements: u64,
+    frontier_pushes: u64,
+}
+
+impl FloodScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grow the tag arrays to cover `n` slots (never shrinks).
+    fn ensure(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, 0);
+            self.dist_tick.resize(n, 0);
+            self.next_tick.resize(n, 0);
+        }
+    }
+
+    /// Cumulative neighbor examinations across all floods since the last
+    /// [`FloodScratch::reset_counters`].
+    pub fn edges_scanned(&self) -> u64 {
+        self.edges_scanned
+    }
+
+    /// Cumulative successful dist relaxations (strict improvements).
+    pub fn improvements(&self) -> u64 {
+        self.improvements
+    }
+
+    /// Cumulative slots admitted to a next frontier (post-dedup).
+    pub fn frontier_pushes(&self) -> u64 {
+        self.frontier_pushes
+    }
+
+    pub fn reset_counters(&mut self) {
+        self.edges_scanned = 0;
+        self.improvements = 0;
+        self.frontier_pushes = 0;
+    }
+
+    /// The shared flood engine: hop-bounded Bellman–Ford from `src` toward
+    /// `dst` over `graph`, restricted each round to last round's improved
+    /// slots, where only slots satisfying `relays` forward and traversing
+    /// `u → v` costs `cost(u, v)`. Returns the cheapest `(cost, hops)`
+    /// delivery within `max_hops`, or `None` if `dst` is out of reach.
+    ///
+    /// Frontier entries carry their round-start dist (the per-round snapshot
+    /// of the allocating original), so in-round improvements to a frontier
+    /// member don't leak into its own relaxations this round. Two
+    /// observationally-safe optimizations ride on top of buffer reuse: the
+    /// next frontier is deduped (duplicate entries would carry the same
+    /// snapshot dist and re-relax idempotently under the strict `<`), and a
+    /// frontier node with `du ≥ best answer` is pruned (costs are
+    /// non-negative, so nothing downstream can strictly improve the answer).
+    pub fn run(
+        &mut self,
+        graph: &LogicalGraph,
+        src: Slot,
+        dst: Slot,
+        max_hops: u32,
+        relays: impl Fn(Slot) -> bool,
+        cost: impl Fn(Slot, Slot) -> u64,
+    ) -> Option<(u64, u32)> {
+        if src == dst {
+            return Some((0, 0));
+        }
+        self.ensure(graph.num_slots());
+        self.tick += 1;
+        let epoch = self.tick;
+        self.dist[src.index()] = 0;
+        self.dist_tick[src.index()] = epoch;
+        let mut frontier = std::mem::take(&mut self.frontier);
+        let mut next = std::mem::take(&mut self.next);
+        frontier.clear();
+        frontier.push((src, 0));
+        let mut answer: Option<(u64, u32)> = None;
+        for h in 1..=max_hops {
+            self.tick += 1;
+            let round = self.tick;
+            next.clear();
+            for &(u, du) in &frontier {
+                if let Some((best, _)) = answer {
+                    if du >= best {
+                        continue;
+                    }
+                }
+                if !relays(u) {
+                    continue;
+                }
+                for &v in graph.neighbors(u) {
+                    self.edges_scanned += 1;
+                    let c = du + cost(u, v);
+                    let vi = v.index();
+                    let dv = if self.dist_tick[vi] == epoch { self.dist[vi] } else { u64::MAX };
+                    if c < dv {
+                        self.dist[vi] = c;
+                        self.dist_tick[vi] = epoch;
+                        self.improvements += 1;
+                        if self.next_tick[vi] != round {
+                            self.next_tick[vi] = round;
+                            next.push(v);
+                            self.frontier_pushes += 1;
+                        }
+                        if v == dst && answer.map_or(true, |(best, _)| c < best) {
+                            answer = Some((c, h));
+                        }
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier.clear();
+            frontier.extend(next.iter().map(|&v| (v, self.dist[v.index()])));
+        }
+        self.frontier = frontier;
+        self.next = next;
+        answer
+    }
+}
+
 /// A live overlay: logical graph + placement + physical latencies
 /// (+ optional per-peer processing delays).
 pub struct OverlayNet {
@@ -162,51 +316,30 @@ impl OverlayNet {
         dst: Slot,
         max_hops: u32,
     ) -> Option<(u64, u32)> {
-        if src == dst {
-            return Some((0, 0));
-        }
-        const INF: u64 = u64::MAX;
-        let n = self.graph.num_slots();
-        // dist[v] = best cost to reach v using ≤ h hops (rolling over h);
-        // hop-bounded Bellman–Ford restricted to last round's improvements.
-        let mut dist = vec![INF; n];
-        dist[src.index()] = 0;
-        let mut frontier: Vec<Slot> = vec![src];
-        let mut answer: Option<(u64, u32)> = None;
-        for h in 1..=max_hops {
-            let mut next_frontier: Vec<Slot> = Vec::new();
-            let mut improved = false;
-            // Relax all edges out of slots whose dist improved last round.
-            let snapshot: Vec<(Slot, u64)> =
-                frontier.iter().map(|&u| (u, dist[u.index()])).collect();
-            for (u, du) in snapshot {
-                if du == INF {
-                    continue;
-                }
-                for &v in self.graph.neighbors(u) {
-                    let cost = du + self.d(u, v) as u64 + self.proc_delay(v) as u64;
-                    if cost < dist[v.index()] {
-                        dist[v.index()] = cost;
-                        next_frontier.push(v);
-                        improved = true;
-                        if v == dst {
-                            let better = match answer {
-                                None => true,
-                                Some((best, _)) => cost < best,
-                            };
-                            if better {
-                                answer = Some((cost, h));
-                            }
-                        }
-                    }
-                }
-            }
-            if !improved {
-                break;
-            }
-            frontier = next_frontier;
-        }
-        answer
+        let mut scratch = FloodScratch::new();
+        self.min_latency_within_hops_with(src, dst, max_hops, &mut scratch)
+    }
+
+    /// [`OverlayNet::min_latency_within_hops`] with caller-owned scratch —
+    /// the fast path for measurement sweeps, which run thousands of floods
+    /// back to back and reuse one [`FloodScratch`] per worker. Same answer
+    /// as the allocating version for every input (see [`FloodScratch::run`]
+    /// for why the scratch's dedup and pruning are observationally safe).
+    pub fn min_latency_within_hops_with(
+        &self,
+        src: Slot,
+        dst: Slot,
+        max_hops: u32,
+        scratch: &mut FloodScratch,
+    ) -> Option<(u64, u32)> {
+        scratch.run(
+            &self.graph,
+            src,
+            dst,
+            max_hops,
+            |_| true,
+            |u, v| self.d(u, v) as u64 + self.proc_delay(v) as u64,
+        )
     }
 }
 
@@ -341,6 +474,93 @@ mod tests {
     fn lookup_to_self_is_free() {
         let (net, _) = small_net(4, 10);
         assert_eq!(net.min_latency_within_hops(Slot(1), Slot(1), 7), Some((0, 0)));
+    }
+
+    #[test]
+    fn clique_flood_relaxation_counts_are_exact() {
+        // On a clique whose latencies come from a shortest-path metric,
+        // round 1 improves every other member exactly once (triangle
+        // inequality: no 2-hop route beats a direct edge), and round 2 scans
+        // everything once more, improves nothing, and terminates. With a
+        // deduped frontier the work is therefore exactly:
+        //   scans        = (c-1) + (c-1)²   improvements = c-1
+        //   pushes       = c-1              (each member enters once)
+        // regardless of TTL, seed, or latency values. A regression that
+        // re-admits duplicate frontier entries breaks the scan count.
+        let c = 8usize; // clique size; slot c is isolated (flood target)
+        let n = c + 1;
+        let mut rng = SimRng::seed_from(12);
+        let phys = generate(&TransitStubParams::tiny(), &mut rng);
+        let oracle = Arc::new(LatencyOracle::select_and_build(&phys, n, &mut rng));
+        let mut g = LogicalGraph::new(n);
+        for a in 0..c as u32 {
+            for b in (a + 1)..c as u32 {
+                g.add_edge(Slot(a), Slot(b));
+            }
+        }
+        let net = OverlayNet::new(g, Placement::identity(n), oracle);
+        let mut scratch = FloodScratch::new();
+        // Destination is the isolated slot: unreachable, so the `du ≥ best`
+        // prune never fires and the counts depend only on the topology.
+        let out = net.min_latency_within_hops_with(Slot(0), Slot(c as u32), 7, &mut scratch);
+        assert_eq!(out, None);
+        let k = (c - 1) as u64;
+        assert_eq!(scratch.edges_scanned(), k + k * k, "clique flood scan count");
+        assert_eq!(scratch.improvements(), k, "clique flood improvement count");
+        assert_eq!(scratch.frontier_pushes(), k, "clique flood frontier pushes");
+    }
+
+    #[test]
+    fn frontier_dedup_admits_each_slot_once_per_round() {
+        // Diamond src—{a,b}—v: in round 2 both a and b may improve v; the
+        // deduped frontier must admit v once either way, so total pushes are
+        // exactly 3 (a, b, v) for every seed.
+        for seed in 0..20u64 {
+            let mut rng = SimRng::seed_from(seed);
+            let phys = generate(&TransitStubParams::tiny(), &mut rng);
+            let oracle = Arc::new(LatencyOracle::select_and_build(&phys, 4, &mut rng));
+            let mut g = LogicalGraph::new(4);
+            g.add_edge(Slot(0), Slot(1));
+            g.add_edge(Slot(0), Slot(2));
+            g.add_edge(Slot(1), Slot(3));
+            g.add_edge(Slot(2), Slot(3));
+            let net = OverlayNet::new(g, Placement::identity(4), oracle);
+            let mut scratch = FloodScratch::new();
+            let out = net.min_latency_within_hops_with(Slot(0), Slot(3), 7, &mut scratch);
+            assert!(out.is_some());
+            assert_eq!(scratch.frontier_pushes(), 3, "seed {seed}: duplicate frontier entry");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_allocation() {
+        // One scratch across many floods (the measurement-plane pattern)
+        // must agree with a fresh allocation per call, including across
+        // different sources, TTLs, and interleaved unreachable queries.
+        let (net, _) = small_net(12, 13);
+        let mut scratch = FloodScratch::new();
+        for ttl in [1u32, 2, 3, 7] {
+            for a in 0..12u32 {
+                for b in 0..12u32 {
+                    let fresh = net.min_latency_within_hops(Slot(a), Slot(b), ttl);
+                    let reused =
+                        net.min_latency_within_hops_with(Slot(a), Slot(b), ttl, &mut scratch);
+                    assert_eq!(fresh, reused, "{a}→{b} ttl {ttl}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_grows_across_net_sizes() {
+        // A scratch sized by a small net must serve a larger net next call.
+        let (small, _) = small_net(4, 14);
+        let (large, _) = small_net(16, 15);
+        let mut scratch = FloodScratch::new();
+        let s = small.min_latency_within_hops_with(Slot(0), Slot(2), 7, &mut scratch);
+        assert_eq!(s, small.min_latency_within_hops(Slot(0), Slot(2), 7));
+        let l = large.min_latency_within_hops_with(Slot(0), Slot(9), 7, &mut scratch);
+        assert_eq!(l, large.min_latency_within_hops(Slot(0), Slot(9), 7));
     }
 
     #[test]

@@ -130,52 +130,45 @@ impl Ultrapeer {
     /// ultrapeer positions relay. Hop budget: 1 (into the mesh) +
     /// `flood_ttl` (mesh) + 1 (out to a leaf).
     pub fn flood_latency(&self, net: &OverlayNet, src: Slot, dst: Slot) -> Option<(u64, u32)> {
+        let mut scratch = crate::FloodScratch::new();
+        self.flood_latency_with(net, src, dst, &mut scratch)
+    }
+
+    /// [`Ultrapeer::flood_latency`] with caller-owned scratch (see
+    /// [`crate::FloodScratch`]); identical answers, no per-call allocation.
+    pub fn flood_latency_with(
+        &self,
+        net: &OverlayNet,
+        src: Slot,
+        dst: Slot,
+        scratch: &mut crate::FloodScratch,
+    ) -> Option<(u64, u32)> {
         if src == dst {
             return Some((0, 0));
         }
-        const INF: u64 = u64::MAX;
         let g = net.graph();
-        let n = g.num_slots();
         let max_hops = self.params.flood_ttl + 2;
-        let mut dist = vec![INF; n];
-        dist[src.index()] = 0;
-        let mut frontier = vec![src];
-        let mut answer: Option<(u64, u32)> = None;
-        for h in 1..=max_hops {
-            let mut next = Vec::new();
-            let snapshot: Vec<(Slot, u64)> =
-                frontier.iter().map(|&u| (u, dist[u.index()])).collect();
-            for (u, du) in snapshot {
-                if du == INF {
-                    continue;
-                }
-                // Only the source and ultrapeers forward.
-                if u != src && !self.is_ultrapeer(u) {
-                    continue;
-                }
-                for &v in g.neighbors(u) {
-                    let cost = du + net.d(u, v) as u64 + net.proc_delay(v) as u64;
-                    if cost < dist[v.index()] {
-                        dist[v.index()] = cost;
-                        next.push(v);
-                        if v == dst && answer.map_or(true, |(best, _)| cost < best) {
-                            answer = Some((cost, h));
-                        }
-                    }
-                }
-            }
-            if next.is_empty() {
-                break;
-            }
-            frontier = next;
-        }
-        answer
+        let relays = |u: Slot| u == src || self.is_ultrapeer(u);
+        scratch.run(g, src, dst, max_hops, relays, |u, v| {
+            net.d(u, v) as u64 + net.proc_delay(v) as u64
+        })
     }
 }
 
 impl Lookup for Ultrapeer {
     fn lookup(&self, net: &OverlayNet, src: Slot, dst: Slot) -> Option<RouteOutcome> {
         self.flood_latency(net, src, dst)
+            .map(|(latency_ms, hops)| RouteOutcome { latency_ms, hops })
+    }
+
+    fn lookup_with(
+        &self,
+        net: &OverlayNet,
+        src: Slot,
+        dst: Slot,
+        scratch: &mut crate::FloodScratch,
+    ) -> Option<RouteOutcome> {
+        self.flood_latency_with(net, src, dst, scratch)
             .map(|(latency_ms, hops)| RouteOutcome { latency_ms, hops })
     }
 }

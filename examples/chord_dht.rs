@@ -26,14 +26,14 @@ fn main() {
 
     // --- vanilla Chord + PROP-G -----------------------------------------
     let (chord, net) = Chord::build(ChordParams::default(), Arc::clone(&oracle), &mut rng);
-    let stretch0 = path_stretch(&net, &chord, &pairs);
+    let stretch0 = path_stretch(&net, &chord, &pairs).mean;
     let hops0 = mean_hops(&net, &chord, &pairs);
 
     let mut sim = ProtocolSim::new(net, PropConfig::prop_g(), &mut rng);
     sim.run_for(Duration::from_minutes(90));
     let net = sim.into_net();
 
-    let stretch1 = path_stretch(&net, &chord, &pairs);
+    let stretch1 = path_stretch(&net, &chord, &pairs).mean;
     let hops1 = mean_hops(&net, &chord, &pairs);
     println!("Chord ({N} nodes, 64-bit ring):");
     println!("  stretch      {stretch0:.2} → {stretch1:.2}");
@@ -52,11 +52,11 @@ fn main() {
     // --- PNS-Chord + PROP-G ----------------------------------------------
     let mut rng2 = SimRng::seed_from(12);
     let (pns, pns_net) = build_pns_chord(ChordParams::default(), oracle, &mut rng2);
-    let pns0 = path_stretch(&pns_net, &pns, &pairs);
+    let pns0 = path_stretch(&pns_net, &pns, &pairs).mean;
     let mut sim = ProtocolSim::new(pns_net, PropConfig::prop_g(), &mut rng2);
     sim.run_for(Duration::from_minutes(90));
     let pns_net = sim.into_net();
-    let pns1 = path_stretch(&pns_net, &pns, &pairs);
+    let pns1 = path_stretch(&pns_net, &pns, &pairs).mean;
     println!("\nPNS-Chord (proximity fingers):");
     println!("  stretch      {pns0:.2} → {pns1:.2}  (PROP-G stacks on top of PNS)");
 }

@@ -66,7 +66,8 @@ pub mod prelude {
         transit_bisection, FaultCounters, FaultHarness, FaultPlane, FaultScript,
     };
     pub use prop_metrics::{
-        avg_lookup_latency, link_stretch, path_stretch, FaultReport, OracleCacheReport, TimeSeries,
+        avg_lookup_latency, link_stretch, par_avg_lookup_latency, par_path_stretch, path_stretch,
+        FaultReport, LatencySummary, OracleCacheReport, StretchSummary, TimeSeries,
     };
     pub use prop_netsim::{
         generate, CacheStats, LatencyOracle, OracleConfig, PhysGraph, TransitStubParams,
@@ -78,6 +79,8 @@ pub mod prelude {
     pub use prop_overlay::kademlia::{Kademlia, KademliaParams};
     pub use prop_overlay::pastry::{Pastry, PastryParams};
     pub use prop_overlay::ultrapeer::{Ultrapeer, UltrapeerParams};
-    pub use prop_overlay::{LogicalGraph, Lookup, OverlayNet, Placement, RouteOutcome, Slot};
+    pub use prop_overlay::{
+        FloodScratch, LogicalGraph, Lookup, OverlayNet, Placement, RouteOutcome, Slot,
+    };
     pub use prop_workloads::{BimodalParams, LookupGen};
 }

@@ -61,14 +61,14 @@ fn propg_improves_chord_stretch_without_touching_routing() {
     let (chord, net) = Chord::build(ChordParams::default(), oracle, &mut rng);
     let live: Vec<Slot> = net.graph().live_slots().collect();
     let pairs = LookupGen::new(&rng).uniform_pairs(&live, 600);
-    let s0 = path_stretch(&net, &chord, &pairs);
+    let s0 = path_stretch(&net, &chord, &pairs).mean;
     let hops0: u32 = pairs.iter().map(|&(a, b)| chord.lookup(&net, a, b).unwrap().hops).sum();
 
     let mut sim = ProtocolSim::new(net, PropConfig::prop_g(), &mut rng);
     sim.run_for(Duration::from_minutes(60));
     let net = sim.into_net();
 
-    let s1 = path_stretch(&net, &chord, &pairs);
+    let s1 = path_stretch(&net, &chord, &pairs).mean;
     let hops1: u32 = pairs.iter().map(|&(a, b)| chord.lookup(&net, a, b).unwrap().hops).sum();
     assert_eq!(hops0, hops1, "identifier swaps must not change any route");
     assert!(s1 < s0, "stretch should drop: {s0:.2} → {s1:.2}");
@@ -80,12 +80,12 @@ fn propg_improves_can_stretch() {
     let (can, net) = Can::build(oracle, &mut rng);
     let live: Vec<Slot> = net.graph().live_slots().collect();
     let pairs = LookupGen::new(&rng).uniform_pairs(&live, 500);
-    let s0 = path_stretch(&net, &can, &pairs);
+    let s0 = path_stretch(&net, &can, &pairs).mean;
 
     let mut sim = ProtocolSim::new(net, PropConfig::prop_g(), &mut rng);
     sim.run_for(Duration::from_minutes(60));
     let net = sim.into_net();
-    let s1 = path_stretch(&net, &can, &pairs);
+    let s1 = path_stretch(&net, &can, &pairs).mean;
     assert!(s1 < s0, "CAN stretch should drop: {s0:.2} → {s1:.2}");
 }
 
@@ -96,17 +96,17 @@ fn stacking_propg_on_pns_and_pis_never_hurts() {
     let pairs = LookupGen::new(&rng).uniform_pairs(&live, 500);
 
     let (pns, net) = build_pns_chord(ChordParams::default(), Arc::clone(&oracle), &mut rng);
-    let s0 = path_stretch(&net, &pns, &pairs);
+    let s0 = path_stretch(&net, &pns, &pairs).mean;
     let mut sim = ProtocolSim::new(net, PropConfig::prop_g(), &mut rng);
     sim.run_for(Duration::from_minutes(45));
-    let s1 = path_stretch(&sim.into_net(), &pns, &pairs);
+    let s1 = path_stretch(&sim.into_net(), &pns, &pairs).mean;
     assert!(s1 <= s0 * 1.02, "PNS+PROP-G regressed: {s0:.2} → {s1:.2}");
 
     let (pis, net) = build_pis_can(oracle, &mut rng);
-    let c0 = path_stretch(&net, &pis, &pairs);
+    let c0 = path_stretch(&net, &pis, &pairs).mean;
     let mut sim = ProtocolSim::new(net, PropConfig::prop_g(), &mut rng);
     sim.run_for(Duration::from_minutes(45));
-    let c1 = path_stretch(&sim.into_net(), &pis, &pairs);
+    let c1 = path_stretch(&sim.into_net(), &pis, &pairs).mean;
     assert!(c1 <= c0 * 1.02, "PIS+PROP-G regressed: {c0:.2} → {c1:.2}");
 }
 
