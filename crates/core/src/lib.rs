@@ -43,5 +43,5 @@ pub mod sim_async;
 pub use config::{Policy, ProbeMode, PropConfig};
 pub use exchange::{plan_exchange, ExchangePlan};
 pub use fault::{Delivery, FaultCounters, FaultPlane, MsgKind};
-pub use sim::{Overhead, ProtocolSim};
+pub use sim::{Overhead, ProtocolSim, DEFAULT_TRIAL_BATCH};
 pub use sim_async::{AsyncProtocolSim, AsyncStats};

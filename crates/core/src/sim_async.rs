@@ -32,8 +32,9 @@ use crate::config::{ProbeMode, PropConfig};
 use crate::exchange::{self, PlanKind};
 use crate::fault::{FaultCounters, FaultPlane, MsgKind};
 use crate::protocol::NodeState;
+use crate::sim::DEFAULT_TRIAL_BATCH;
 use prop_engine::{Duration, EventQueue, SimRng, SimTime};
-use prop_overlay::walk::{random_walk, WalkPath};
+use prop_overlay::walk::WalkPath;
 use prop_overlay::{OverlayNet, Slot};
 use serde::{Deserialize, Serialize};
 
@@ -95,6 +96,9 @@ pub struct AsyncProtocolSim {
     m_default: usize,
     stats: AsyncStats,
     plane: Option<Box<dyn FaultPlane>>,
+    /// Trials per oracle-prefetch batch (see
+    /// [`AsyncProtocolSim::set_trial_batch`]).
+    trial_batch: usize,
 }
 
 impl AsyncProtocolSim {
@@ -125,7 +129,16 @@ impl AsyncProtocolSim {
             m_default,
             stats: AsyncStats::default(),
             plane: None,
+            trial_batch: DEFAULT_TRIAL_BATCH,
         }
+    }
+
+    /// Same contract as [`crate::sim::ProtocolSim::set_trial_batch`]: every
+    /// `batch` event pops, the oracle rows the pending events will touch
+    /// (tick origins, in-flight walk endpoints) are warmed in one parallel
+    /// pass. Cache-only — results are bit-identical for any batch size.
+    pub fn set_trial_batch(&mut self, batch: usize) {
+        self.trial_batch = batch.max(1);
     }
 
     /// Route all subsequent message traffic through `plane`. Without a
@@ -150,7 +163,10 @@ impl AsyncProtocolSim {
         &mut self.net
     }
 
-    pub fn into_net(self) -> OverlayNet {
+    /// Consume the simulation, keeping the optimized overlay (with its CSR
+    /// view freshly synced, so measurement sweeps start on the fast path).
+    pub fn into_net(mut self) -> OverlayNet {
+        self.net.refresh_csr();
         self.net
     }
 
@@ -174,14 +190,53 @@ impl AsyncProtocolSim {
         self.net.oracle_cache_stats()
     }
 
-    /// Run all events up to and including `deadline`.
+    /// Run all events up to and including `deadline`. Every `trial_batch`
+    /// pops, the oracle rows the pending events will touch are warmed in
+    /// one parallel pass (a no-op on the dense tier).
     pub fn run_until(&mut self, deadline: SimTime) {
+        let mut credit = 0usize;
         while let Some((_, ev)) = self.events.pop_until(deadline) {
+            if credit == 0 {
+                self.warm_pending_rows(deadline);
+                credit = self.trial_batch;
+            }
+            credit -= 1;
             match ev {
                 Ev::Tick(slot) => self.launch(slot),
                 Ev::Commit { origin, walk, dup } => self.commit(origin, walk, dup),
             }
         }
+        self.net.refresh_csr();
+    }
+
+    /// Batch-prefetch oracle rows for pending events due by `deadline`: a
+    /// tick needs its origin's row (walk hops + probe pings), a commit
+    /// re-evaluates Var between the walk's two endpoints. Purely a cache
+    /// warmer: see [`AsyncProtocolSim::set_trial_batch`].
+    fn warm_pending_rows(&mut self, deadline: SimTime) {
+        if self.trial_batch <= 1 || self.net.oracle_cache_stats().is_none() {
+            return; // prefetch disabled, or dense tier (warming is a no-op)
+        }
+        let mut slots: Vec<Slot> = Vec::with_capacity(self.trial_batch);
+        for (t, ev) in self.events.pending() {
+            if t > deadline || slots.len() >= self.trial_batch {
+                if slots.len() >= self.trial_batch {
+                    break;
+                }
+                continue;
+            }
+            match ev {
+                Ev::Tick(slot) => slots.push(*slot),
+                Ev::Commit { origin, walk, .. } => {
+                    slots.push(*origin);
+                    if let Some(&end) = walk.path.last() {
+                        slots.push(end);
+                    }
+                }
+            }
+        }
+        slots.retain(|&s| self.net.graph().is_alive(s) && self.nodes[s.index()].is_some());
+        self.net.warm_latency_rows(&slots);
     }
 
     pub fn run_for(&mut self, window: Duration) {
@@ -195,6 +250,10 @@ impl AsyncProtocolSim {
         if self.nodes[slot.index()].is_none() || !self.net.graph().is_alive(slot) {
             return;
         }
+        // Catch the CSR view up with any mutations since the last event
+        // (committed PROP-O exchanges, churn); usually a no-op or a short
+        // patch replay.
+        self.net.refresh_csr();
         // A crashed host launches nothing; keep its tick alive so probing
         // resumes after restart.
         let origin_peer = self.net.peer(slot);
@@ -216,7 +275,7 @@ impl AsyncProtocolSim {
                     self.reschedule(slot);
                     return;
                 };
-                random_walk(self.net.graph(), slot, first, nhops, &mut self.rng)
+                self.net.probe_walk(slot, first, nhops, &mut self.rng)
             }
             ProbeMode::Random => {
                 let live: Vec<Slot> =
@@ -713,5 +772,25 @@ mod tests {
         b.run_for(minutes(30));
         assert_eq!(a.stats(), b.stats());
         assert_eq!(a.net().total_link_latency(), b.net().total_link_latency());
+    }
+
+    #[test]
+    fn trial_batching_is_observation_free() {
+        // Prefetch batching warms caches only; a batch-1 run and a batch-64
+        // run from the same seed must agree on every counter and edge.
+        for cfg in [PropConfig::prop_g(), PropConfig::prop_o()] {
+            let mut a = gnutella_async(30, 15, cfg.clone());
+            let mut b = gnutella_async(30, 15, cfg);
+            a.set_trial_batch(1);
+            b.set_trial_batch(64);
+            a.run_for(minutes(40));
+            b.run_for(minutes(40));
+            assert_eq!(a.stats(), b.stats());
+            assert_eq!(a.net().total_link_latency(), b.net().total_link_latency());
+            assert_eq!(
+                a.net().graph().edges().collect::<Vec<_>>(),
+                b.net().graph().edges().collect::<Vec<_>>()
+            );
+        }
     }
 }

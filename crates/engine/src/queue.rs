@@ -114,6 +114,14 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|e| e.0.key.time)
     }
 
+    /// Non-destructive view of every pending event, in **unspecified**
+    /// order (the heap's internal layout). For look-ahead that is
+    /// insensitive to ordering — e.g. a driver prefetching latency rows for
+    /// the slots its next batch of events will touch — not for dispatch.
+    pub fn pending(&self) -> impl Iterator<Item = (SimTime, &E)> + '_ {
+        self.heap.iter().map(|Reverse(e)| (e.key.time, &e.event))
+    }
+
     /// Pop the earliest event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let Reverse(entry) = self.heap.pop()?;
@@ -216,6 +224,19 @@ mod tests {
         q.schedule_at(SimTime(10), ());
         q.pop();
         q.schedule_at(SimTime(5), ());
+    }
+
+    #[test]
+    fn pending_sees_everything_without_popping() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(30), "c");
+        q.schedule_at(SimTime(10), "a");
+        q.schedule_at(SimTime(20), "b");
+        let mut seen: Vec<_> = q.pending().collect();
+        seen.sort();
+        assert_eq!(seen, vec![(SimTime(10), &"a"), (SimTime(20), &"b"), (SimTime(30), &"c")]);
+        assert_eq!(q.len(), 3, "pending must not consume");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("a"));
     }
 
     #[test]

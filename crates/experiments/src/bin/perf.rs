@@ -2,25 +2,27 @@
 //!
 //! ```text
 //! cargo run --release -p prop-experiments --bin perf [--quick] [--seed N]
-//!     [--out PATH] [--check PATH]
+//!     [--out PATH] [--check PATH] [--repr vecvec|csr]
 //! ```
 //!
-//! Without flags: Quick- and Paper-scale entries written to
-//! `BENCH_PERF.json` in the current directory (the repo root, when run via
-//! cargo from there). `--quick` restricts the run to the Quick entry —
-//! what CI uses. `--check PATH` additionally loads the committed baseline
-//! at PATH and exits non-zero when any gated throughput metric regressed
-//! more than `prop_experiments::perf::CHECK_TOLERANCE` against the
-//! same-scale baseline entry; a placeholder or metric-less baseline makes
-//! the run record-only.
+//! Without flags: Quick- and Paper-scale entries, each under both the CSR
+//! and the legacy `Vec<Vec<Slot>>` adjacency, written to `BENCH_PERF.json`
+//! in the current directory (the repo root, when run via cargo from
+//! there). `--quick` restricts the run to the Quick scale — what CI uses.
+//! `--repr` restricts to one representation. `--check PATH` additionally
+//! loads the committed baseline at PATH and exits non-zero when any gated
+//! metric regressed more than `prop_experiments::perf::CHECK_TOLERANCE`
+//! against the same-(scale, repr) baseline entry; a placeholder or
+//! metric-less baseline makes the run record-only.
 
-use prop_experiments::perf::{check_against_baseline, run, CHECK_TOLERANCE};
+use prop_experiments::perf::{check_against_baseline, run, Repr, CHECK_TOLERANCE};
 use prop_experiments::Scale;
 use std::fs;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut scales = vec![Scale::Quick, Scale::Paper];
+    let mut reprs = vec![Repr::Csr, Repr::Vecvec];
     let mut seed = 1u64;
     let mut out = String::from("BENCH_PERF.json");
     let mut check: Option<String> = None;
@@ -33,15 +35,20 @@ fn main() -> ExitCode {
             }
             "--out" => out = args.next().expect("--out needs a path"),
             "--check" => check = Some(args.next().expect("--check needs a baseline path")),
+            "--repr" => {
+                let val = args.next().expect("--repr needs vecvec or csr");
+                reprs = vec![Repr::parse(&val)
+                    .unwrap_or_else(|| panic!("--repr must be vecvec or csr, got {val}"))];
+            }
             other => panic!("unknown flag {other}"),
         }
     }
 
-    let report = run(&scales, seed);
+    let report = run(&scales, &reprs, seed);
     println!("perf (seed {}, {} rayon threads):", report.seed, report.threads);
     for entry in &report.entries {
         let m = &entry.metrics;
-        println!("[{}]", entry.scale);
+        println!("[{} · {}]", entry.scale, entry.repr);
         println!(
             "  driver      {:>12.0} trials/s   ({} trials)",
             m.driver_trials_per_sec, m.driver_trials

@@ -58,12 +58,48 @@ pub struct PerfReport {
     pub entries: Vec<PerfEntry>,
 }
 
-/// One scale's numbers.
+/// One (scale, representation) cell's numbers.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct PerfEntry {
     /// `"quick"` or `"paper"`.
     pub scale: String,
+    /// Adjacency representation the run used: `"csr"` (the default fast
+    /// path) or `"vecvec"` (CSR disabled, legacy rows). Baselines written
+    /// before this field existed are read as `"csr"`.
+    #[serde(default = "default_repr")]
+    pub repr: String,
     pub metrics: PerfMetrics,
+}
+
+fn default_repr() -> String {
+    Repr::Csr.label().to_string()
+}
+
+/// Which adjacency representation the overlay's traversal hot paths use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Repr {
+    /// Legacy `Vec<Vec<Slot>>` rows (CSR view disabled).
+    Vecvec,
+    /// Compact CSR view (the default).
+    Csr,
+}
+
+impl Repr {
+    pub fn label(self) -> &'static str {
+        match self {
+            Repr::Vecvec => "vecvec",
+            Repr::Csr => "csr",
+        }
+    }
+
+    /// Parse a `--repr` argument.
+    pub fn parse(s: &str) -> Option<Repr> {
+        match s {
+            "vecvec" => Some(Repr::Vecvec),
+            "csr" => Some(Repr::Csr),
+            _ => None,
+        }
+    }
 }
 
 /// The numbers CI tracks.
@@ -102,31 +138,40 @@ pub struct CheckFailure {
     pub current: f64,
 }
 
-/// Run the suite at the given scales (deduplicated, in order).
-pub fn run(scales: &[Scale], seed: u64) -> PerfReport {
+/// Run the suite at the given scales × representations (deduplicated, in
+/// order), so the report shows the CSR step-change next to the legacy
+/// numbers on the same machine.
+pub fn run(scales: &[Scale], reprs: &[Repr], seed: u64) -> PerfReport {
     let mut entries = Vec::new();
     for &scale in scales {
         let label = scale_label(scale);
-        if entries.iter().any(|e: &PerfEntry| e.scale == label) {
-            continue;
+        for &repr in reprs {
+            if entries.iter().any(|e: &PerfEntry| e.scale == label && e.repr == repr.label()) {
+                continue;
+            }
+            let topo = match scale {
+                Scale::Paper => Topology::TsLarge,
+                Scale::Quick => Topology::TsSmall,
+            };
+            let reps = match scale {
+                Scale::Paper => 3,
+                Scale::Quick => 10,
+            };
+            let metrics = run_metrics(
+                topo,
+                scale.default_n(),
+                scale.horizon(),
+                scale.lookups_per_sample(),
+                reps,
+                repr,
+                seed,
+            );
+            entries.push(PerfEntry {
+                scale: label.to_string(),
+                repr: repr.label().to_string(),
+                metrics,
+            });
         }
-        let topo = match scale {
-            Scale::Paper => Topology::TsLarge,
-            Scale::Quick => Topology::TsSmall,
-        };
-        let reps = match scale {
-            Scale::Paper => 3,
-            Scale::Quick => 10,
-        };
-        let metrics = run_metrics(
-            topo,
-            scale.default_n(),
-            scale.horizon(),
-            scale.lookups_per_sample(),
-            reps,
-            seed,
-        );
-        entries.push(PerfEntry { scale: label.to_string(), metrics });
     }
     PerfReport {
         status: "generated".to_string(),
@@ -145,17 +190,22 @@ fn scale_label(scale: Scale) -> &'static str {
 }
 
 /// The measurement core, parameterized so tests can run a miniature
-/// configuration.
+/// configuration. `repr` selects the adjacency representation the driver
+/// and lookup stages traverse; results are bit-identical across reprs,
+/// only the wall-clock metrics move.
+#[allow(clippy::too_many_arguments)]
 pub fn run_metrics(
     topo: Topology,
     n: usize,
     horizon: Duration,
     lookups: usize,
     reps: usize,
+    repr: Repr,
     seed: u64,
 ) -> PerfMetrics {
     let scenario = Scenario::build(topo, n, seed);
-    let (gn, net) = scenario.gnutella();
+    let (gn, mut net) = scenario.gnutella();
+    net.set_csr_enabled(repr == Repr::Csr);
     let pairs =
         LookupGen::new(&scenario.rng("perf-lookups")).uniform_pairs(&scenario.all_slots(), lookups);
 
@@ -253,24 +303,28 @@ pub fn check_against_baseline(
     let base_entries = baseline.get("entries").and_then(|e| e.as_array()).unwrap_or(&empty);
     let mut failures = Vec::new();
     for entry in &report.entries {
-        let Some(base) = base_entries
-            .iter()
-            .find(|b| b.get("scale").and_then(|s| s.as_str()) == Some(entry.scale.as_str()))
-        else {
+        // Entries match on (scale, repr); a baseline written before the
+        // repr field existed is read as "csr" (the default fast path).
+        let Some(base) = base_entries.iter().find(|b| {
+            b.get("scale").and_then(|s| s.as_str()) == Some(entry.scale.as_str())
+                && b.get("repr").and_then(|r| r.as_str()).unwrap_or("csr") == entry.repr
+        }) else {
             continue;
         };
+        let base_metric = |name: &str| {
+            base.get("metrics")
+                .and_then(|m| m.get(name))
+                .and_then(|v| v.as_f64())
+                .filter(|v| v.is_finite() && *v > 0.0)
+        };
+        // Throughputs gate downward (lower = regression)…
         let gated: [(&'static str, f64); 3] = [
             ("driver_trials_per_sec", entry.metrics.driver_trials_per_sec),
             ("serial_lookups_per_sec", entry.metrics.serial_lookups_per_sec),
             ("parallel_lookups_per_sec", entry.metrics.parallel_lookups_per_sec),
         ];
         for (name, current) in gated {
-            let base_val = base
-                .get("metrics")
-                .and_then(|m| m.get(name))
-                .and_then(|v| v.as_f64())
-                .filter(|v| v.is_finite() && *v > 0.0);
-            if let Some(base_val) = base_val {
+            if let Some(base_val) = base_metric(name) {
                 if current < base_val * (1.0 - CHECK_TOLERANCE) {
                     failures.push(CheckFailure {
                         scale: entry.scale.clone(),
@@ -281,6 +335,19 @@ pub fn check_against_baseline(
                 }
             }
         }
+        // …flood work gates upward: more edge scans per lookup means the
+        // flood engine does more algorithmic work for the same answers.
+        if let Some(base_val) = base_metric("flood_edges_scanned_per_lookup") {
+            let current = entry.metrics.flood_edges_scanned_per_lookup;
+            if current > base_val * (1.0 + CHECK_TOLERANCE) {
+                failures.push(CheckFailure {
+                    scale: entry.scale.clone(),
+                    metric: "flood_edges_scanned_per_lookup",
+                    baseline: base_val,
+                    current,
+                });
+            }
+        }
     }
     failures
 }
@@ -289,13 +356,13 @@ pub fn check_against_baseline(
 mod tests {
     use super::*;
 
-    fn miniature() -> PerfMetrics {
-        run_metrics(Topology::Tiny, 24, Duration::from_minutes(2), 60, 1, 7)
+    fn miniature(repr: Repr) -> PerfMetrics {
+        run_metrics(Topology::Tiny, 24, Duration::from_minutes(2), 60, 1, repr, 7)
     }
 
     #[test]
     fn miniature_run_produces_sane_metrics() {
-        let m = miniature();
+        let m = miniature(Repr::Csr);
         assert!(m.bitwise_identical);
         assert!(m.driver_trials > 0);
         assert!(m.driver_trials_per_sec > 0.0);
@@ -310,6 +377,28 @@ mod tests {
         assert!(m.oracle_hit_rate > 0.5, "hit rate {}", m.oracle_hit_rate);
     }
 
+    #[test]
+    fn reprs_agree_on_everything_but_the_clock() {
+        // The adjacency representation is a traversal detail: every
+        // deterministic metric must be identical between runs.
+        let csr = miniature(Repr::Csr);
+        let vecvec = miniature(Repr::Vecvec);
+        assert_eq!(csr.driver_trials, vecvec.driver_trials);
+        assert_eq!(
+            csr.flood_edges_scanned_per_lookup.to_bits(),
+            vecvec.flood_edges_scanned_per_lookup.to_bits()
+        );
+        assert_eq!(
+            csr.flood_improvements_per_lookup.to_bits(),
+            vecvec.flood_improvements_per_lookup.to_bits()
+        );
+        assert_eq!(
+            csr.flood_frontier_pushes_per_lookup.to_bits(),
+            vecvec.flood_frontier_pushes_per_lookup.to_bits()
+        );
+        assert!(csr.bitwise_identical && vecvec.bitwise_identical);
+    }
+
     fn report_with(scale: &str, trials_per_sec: f64) -> PerfReport {
         PerfReport {
             status: "generated".into(),
@@ -318,6 +407,7 @@ mod tests {
             threads: 1,
             entries: vec![PerfEntry {
                 scale: scale.into(),
+                repr: "csr".into(),
                 metrics: PerfMetrics {
                     driver_trials_per_sec: trials_per_sec,
                     driver_trials: 1000,
@@ -370,5 +460,44 @@ mod tests {
         assert_eq!(failures.len(), 1);
         assert_eq!(failures[0].metric, "driver_trials_per_sec");
         assert_eq!(failures[0].scale, "quick");
+    }
+
+    #[test]
+    fn check_matches_repr_and_gates_flood_work_upward() {
+        let report = report_with("quick", 100.0);
+
+        // A baseline entry for a different repr never gates this run.
+        let other_repr = serde_json::json!({
+            "status": "generated",
+            "entries": [{ "scale": "quick", "repr": "vecvec",
+                          "metrics": { "driver_trials_per_sec": 500.0 } }]
+        });
+        assert!(check_against_baseline(&report, &other_repr).is_empty());
+
+        // A baseline without a repr field is treated as "csr" and gates.
+        let legacy_baseline = serde_json::json!({
+            "status": "generated",
+            "entries": [{ "scale": "quick",
+                          "metrics": { "driver_trials_per_sec": 500.0 } }]
+        });
+        assert_eq!(check_against_baseline(&report, &legacy_baseline).len(), 1);
+
+        // flood_edges_scanned_per_lookup fails upward, not downward. The
+        // report's value is 1.0: a baseline of 2.0 passes (we scan fewer
+        // edges), a baseline of 0.5 fails (we scan twice as many).
+        let fewer = serde_json::json!({
+            "status": "generated",
+            "entries": [{ "scale": "quick", "repr": "csr",
+                          "metrics": { "flood_edges_scanned_per_lookup": 2.0 } }]
+        });
+        assert!(check_against_baseline(&report, &fewer).is_empty());
+        let more = serde_json::json!({
+            "status": "generated",
+            "entries": [{ "scale": "quick", "repr": "csr",
+                          "metrics": { "flood_edges_scanned_per_lookup": 0.5 } }]
+        });
+        let failures = check_against_baseline(&report, &more);
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].metric, "flood_edges_scanned_per_lookup");
     }
 }

@@ -15,7 +15,7 @@
 //! Lookups use iterative greedy routing via the closest preceding finger,
 //! the textbook O(log n)-hop discipline.
 
-use crate::logical::{LogicalGraph, Slot};
+use crate::logical::Slot;
 use crate::net::OverlayNet;
 use crate::placement::Placement;
 use crate::{Lookup, RouteOutcome};
@@ -160,14 +160,7 @@ impl Chord {
         }
 
         // Undirected logical graph = union of directed routing entries.
-        let mut g = LogicalGraph::new(n);
-        for s in 0..n as u32 {
-            for &e in &table[s as usize] {
-                if !g.has_edge(Slot(s), e) {
-                    g.add_edge(Slot(s), e);
-                }
-            }
-        }
+        let g = crate::table::graph_from_table(n, &table);
 
         let chord = Chord { ids, ring, table, successor };
         let net = OverlayNet::new(g, Placement::identity(n), oracle);

@@ -133,39 +133,15 @@ impl DynamicChord {
             new_table[s.index()] = entries;
         }
 
-        // Edge diff: undirected union of entries, old vs new.
-        let edge_set = |table: &Vec<Vec<Slot>>| -> HashSet<(Slot, Slot)> {
-            let mut set = HashSet::new();
-            for (i, entries) in table.iter().enumerate() {
-                let s = Slot(i as u32);
-                for &e in entries {
-                    set.insert((s.min(e), s.max(e)));
-                }
-            }
-            set
-        };
-        let old_edges = edge_set(&self.table);
-        let new_edges = edge_set(&new_table);
-        let mut affected: HashSet<Slot> = HashSet::new();
-        for &(a, b) in old_edges.difference(&new_edges) {
-            if g.has_edge(a, b) {
-                g.remove_edge(a, b);
-            }
-            affected.insert(a);
-            affected.insert(b);
-        }
-        for &(a, b) in new_edges.difference(&old_edges) {
-            if !g.has_edge(a, b) {
-                g.add_edge(a, b);
-            }
-            affected.insert(a);
-            affected.insert(b);
-        }
+        // Edge diff: undirected union of entries, old vs new (shared with
+        // the static builder; see `crate::table`). The returned slots come
+        // back sorted, so downstream resync order is deterministic.
+        let affected = crate::table::apply_table_delta(g, &self.table, &new_table);
 
         self.ring = ring;
         self.table = new_table;
         self.successor = new_successor;
-        affected.into_iter().filter(|s| g.is_alive(*s)).collect()
+        affected
     }
 
     /// The peer at `slot` departs. Returns the affected slots (for the

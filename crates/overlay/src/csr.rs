@@ -1,0 +1,352 @@
+//! Compact (CSR) adjacency view of a [`LogicalGraph`].
+//!
+//! The overlay's mutable source of truth stays the sorted-`Vec<Vec<Slot>>`
+//! adjacency in [`LogicalGraph`] — per-mutation costs there are tiny and the
+//! invariant checks (no duplicates, no self-loops) live close to the data.
+//! The *traversal* hot paths — the flood engine, random walks, flood-cost
+//! BFS — iterate neighbor rows millions of times per experiment, and a
+//! per-node heap allocation per row means every hop is a dependent pointer
+//! chase. [`CsrView`] packs all rows into one flat `targets` arena indexed
+//! by `offsets`, so a whole measurement sweep touches two contiguous arrays.
+//!
+//! Three properties make the view safe to substitute anywhere:
+//!
+//! * **Bit-identity** — rows are kept sorted ascending, exactly like
+//!   `LogicalGraph::neighbors`, so any traversal (and any RNG consumption
+//!   driven by it) observes the identical slot sequence.
+//! * **Generation stamping** — the view records the graph
+//!   [`LogicalGraph::generation`] it reflects; [`CsrView::is_current`] is a
+//!   single integer compare, so consumers holding `&OverlayNet` can fall
+//!   back to the legacy rows when the view is stale instead of reading
+//!   stale topology.
+//! * **Patch-log catch-up** — [`CsrView::sync`] replays the graph's
+//!   [`GraphPatch`] log into the arena (rows carry [`ROW_SLACK`] spare
+//!   capacity, so a sorted insert is a short `memmove`), falling back to a
+//!   full O(n + m) rebuild only when the log was truncated or a row
+//!   overflowed. PROP-O's frequent small rewires therefore cost O(patch),
+//!   not O(graph).
+
+use crate::logical::{GraphPatch, LogicalGraph, Slot};
+
+/// Read-only neighbor access, implemented by both adjacency representations
+/// so traversals ([`crate::FloodScratch::run`], [`crate::walk::random_walk`],
+/// the metrics' BFS) are written once and run over either.
+pub trait Adjacency {
+    /// Total slots ever allocated (live or not) — the row-index bound.
+    fn num_slots(&self) -> usize;
+
+    /// Neighbors of `s`, sorted ascending.
+    fn neighbors(&self, s: Slot) -> &[Slot];
+
+    #[inline]
+    fn degree(&self, s: Slot) -> usize {
+        self.neighbors(s).len()
+    }
+
+    #[inline]
+    fn has_edge(&self, a: Slot, b: Slot) -> bool {
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+}
+
+impl Adjacency for LogicalGraph {
+    #[inline]
+    fn num_slots(&self) -> usize {
+        LogicalGraph::num_slots(self)
+    }
+
+    #[inline]
+    fn neighbors(&self, s: Slot) -> &[Slot] {
+        LogicalGraph::neighbors(self, s)
+    }
+}
+
+/// Spare capacity appended to every row at (re)build time, so a few edge
+/// inserts per node — a PROP-O exchange moves `m` edges, a churn join wires
+/// a handful — patch in place instead of forcing a rebuild.
+pub const ROW_SLACK: u32 = 4;
+
+/// Flat compressed-sparse-row snapshot of a [`LogicalGraph`]'s adjacency.
+///
+/// `offsets` has `n + 1` entries; row `i` occupies
+/// `targets[offsets[i] .. offsets[i] + len[i]]` with capacity
+/// `offsets[i+1] - offsets[i]` (live entries + slack). Kill a slot and its
+/// row just goes empty — dead slots are unreachable (no edges point at
+/// them), matching `LogicalGraph` semantics exactly.
+#[derive(Clone, Debug, Default)]
+pub struct CsrView {
+    offsets: Vec<u32>,
+    len: Vec<u32>,
+    targets: Vec<Slot>,
+    epoch: u64,
+}
+
+impl Adjacency for CsrView {
+    #[inline]
+    fn num_slots(&self) -> usize {
+        self.len.len()
+    }
+
+    #[inline]
+    fn neighbors(&self, s: Slot) -> &[Slot] {
+        CsrView::neighbors(self, s)
+    }
+}
+
+impl CsrView {
+    /// Full O(n + m) build from the current graph state.
+    pub fn build(g: &LogicalGraph) -> CsrView {
+        let n = g.num_slots();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut len = Vec::with_capacity(n);
+        let mut total: u32 = 0;
+        offsets.push(0);
+        for i in 0..n {
+            let d = g.neighbors(Slot(i as u32)).len() as u32;
+            len.push(d);
+            total = total.checked_add(d + ROW_SLACK).expect("CSR arena exceeds u32 index space");
+            offsets.push(total);
+        }
+        let mut targets = vec![Slot(0); total as usize];
+        for i in 0..n {
+            let row = g.neighbors(Slot(i as u32));
+            let start = offsets[i] as usize;
+            targets[start..start + row.len()].copy_from_slice(row);
+        }
+        CsrView { offsets, len, targets, epoch: g.generation() }
+    }
+
+    /// The graph generation this view reflects.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Does this view reflect `g`'s current state?
+    #[inline]
+    pub fn is_current(&self, g: &LogicalGraph) -> bool {
+        self.epoch == g.generation()
+    }
+
+    /// Neighbors of `s`, sorted ascending — byte-identical to
+    /// [`LogicalGraph::neighbors`] whenever the view is current.
+    #[inline]
+    pub fn neighbors(&self, s: Slot) -> &[Slot] {
+        let i = s.index();
+        let start = self.offsets[i] as usize;
+        &self.targets[start..start + self.len[i] as usize]
+    }
+
+    /// Bring the view up to `g`'s current generation: a no-op when current,
+    /// an incremental patch replay when the graph's log still covers the
+    /// gap and every touched row has capacity, a full rebuild otherwise.
+    pub fn sync(&mut self, g: &LogicalGraph) {
+        if self.is_current(g) {
+            return;
+        }
+        match g.patches_since(self.epoch) {
+            Some(patches) if self.apply_patches(patches) => self.epoch = g.generation(),
+            _ => *self = CsrView::build(g),
+        }
+    }
+
+    /// Replay `patches` into the arena. Returns `false` (partial state,
+    /// caller must rebuild) on row-capacity overflow.
+    fn apply_patches(&mut self, patches: &[GraphPatch]) -> bool {
+        for &p in patches {
+            match p {
+                GraphPatch::AddEdge(a, b) => {
+                    if !self.insert(a, b) || !self.insert(b, a) {
+                        return false;
+                    }
+                }
+                GraphPatch::RemoveEdge(a, b) => {
+                    self.remove(a, b);
+                    self.remove(b, a);
+                }
+                GraphPatch::AddSlot => {
+                    let end = *self.offsets.last().expect("offsets has a sentinel");
+                    let Some(new_end) = end.checked_add(ROW_SLACK) else { return false };
+                    self.offsets.push(new_end);
+                    self.len.push(0);
+                    self.targets.resize(new_end as usize, Slot(0));
+                }
+                GraphPatch::KillSlot(s) => {
+                    debug_assert_eq!(
+                        self.len[s.index()],
+                        0,
+                        "kill must follow the removal of every incident edge"
+                    );
+                    self.len[s.index()] = 0;
+                }
+            }
+        }
+        true
+    }
+
+    fn row_bounds(&self, s: Slot) -> (usize, usize, usize) {
+        let i = s.index();
+        let start = self.offsets[i] as usize;
+        let used = self.len[i] as usize;
+        let cap = (self.offsets[i + 1] - self.offsets[i]) as usize;
+        (start, used, cap)
+    }
+
+    /// Sorted insert of `t` into `s`'s row. `false` when the row is full.
+    fn insert(&mut self, s: Slot, t: Slot) -> bool {
+        let (start, used, cap) = self.row_bounds(s);
+        if used == cap {
+            return false;
+        }
+        let pos = match self.targets[start..start + used].binary_search(&t) {
+            Err(p) => p,
+            Ok(_) => {
+                debug_assert!(false, "duplicate CSR edge {s:?}–{t:?}");
+                return true;
+            }
+        };
+        self.targets.copy_within(start + pos..start + used, start + pos + 1);
+        self.targets[start + pos] = t;
+        self.len[s.index()] += 1;
+        true
+    }
+
+    /// Sorted removal of `t` from `s`'s row.
+    fn remove(&mut self, s: Slot, t: Slot) {
+        let (start, used, _) = self.row_bounds(s);
+        let pos = self.targets[start..start + used]
+            .binary_search(&t)
+            .expect("removing edge absent from CSR row");
+        self.targets.copy_within(start + pos + 1..start + used, start + pos);
+        self.len[s.index()] -= 1;
+    }
+
+    /// Assert row-by-row equality with the graph (test/debug helper).
+    pub fn assert_matches(&self, g: &LogicalGraph) {
+        assert_eq!(self.num_slots(), g.num_slots(), "slot count diverged");
+        for i in 0..g.num_slots() {
+            let s = Slot(i as u32);
+            assert_eq!(self.neighbors(s), g.neighbors(s), "row {s:?} diverged");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prop_engine::SimRng;
+
+    fn ring(n: u32) -> LogicalGraph {
+        let mut g = LogicalGraph::new(n as usize);
+        for i in 0..n {
+            g.add_edge(Slot(i), Slot((i + 1) % n));
+        }
+        g
+    }
+
+    #[test]
+    fn build_matches_graph_rows() {
+        let mut g = ring(10);
+        g.add_edge(Slot(0), Slot(5));
+        g.add_edge(Slot(2), Slot(7));
+        let view = CsrView::build(&g);
+        assert!(view.is_current(&g));
+        view.assert_matches(&g);
+    }
+
+    #[test]
+    fn incremental_sync_tracks_rewires() {
+        let mut g = ring(8);
+        let mut view = CsrView::build(&g);
+        g.add_edge(Slot(0), Slot(4));
+        g.remove_edge(Slot(1), Slot(2));
+        g.add_edge(Slot(1), Slot(5));
+        assert!(!view.is_current(&g));
+        view.sync(&g);
+        assert!(view.is_current(&g));
+        view.assert_matches(&g);
+    }
+
+    #[test]
+    fn sync_handles_churn() {
+        let mut g = ring(6);
+        let mut view = CsrView::build(&g);
+        g.remove_slot(Slot(3));
+        let s = g.add_slot();
+        g.add_edge(s, Slot(0));
+        g.add_edge(s, Slot(1));
+        view.sync(&g);
+        view.assert_matches(&g);
+        assert_eq!(view.neighbors(Slot(3)), &[] as &[Slot]);
+    }
+
+    #[test]
+    fn row_overflow_falls_back_to_rebuild() {
+        // Slot 0 starts isolated (zero used + ROW_SLACK capacity); wiring
+        // more than ROW_SLACK edges to it must overflow the row and still
+        // produce a correct view via the rebuild path.
+        let mut g = LogicalGraph::new(10);
+        let mut view = CsrView::build(&g);
+        for i in 1..(ROW_SLACK + 3) {
+            g.add_edge(Slot(0), Slot(i));
+        }
+        view.sync(&g);
+        view.assert_matches(&g);
+    }
+
+    #[test]
+    fn stale_epoch_beyond_log_rebuilds() {
+        let mut g = ring(4);
+        let mut view = CsrView::build(&g);
+        // Overflow the patch log so the view's epoch becomes unreachable.
+        for _ in 0..(crate::logical::MAX_PATCH_LOG / 2 + 1) {
+            g.add_edge(Slot(0), Slot(2));
+            g.remove_edge(Slot(0), Slot(2));
+        }
+        assert!(g.patches_since(view.epoch()).is_none());
+        view.sync(&g);
+        view.assert_matches(&g);
+    }
+
+    #[test]
+    fn random_mutation_storm_stays_equivalent() {
+        let mut rng = SimRng::seed_from(42);
+        let mut g = ring(16);
+        let mut view = CsrView::build(&g);
+        for step in 0..600 {
+            let a = Slot(rng.range(0..16u32));
+            let b = Slot(rng.range(0..16u32));
+            if a != b && g.is_alive(a) && g.is_alive(b) {
+                if g.has_edge(a, b) {
+                    if g.degree(a) > 1 && g.degree(b) > 1 {
+                        g.remove_edge(a, b);
+                    }
+                } else {
+                    g.add_edge(a, b);
+                }
+            }
+            // Sync at irregular intervals so the view is sometimes many
+            // patches behind.
+            if step % 7 == 0 {
+                view.sync(&g);
+                view.assert_matches(&g);
+            }
+        }
+        view.sync(&g);
+        view.assert_matches(&g);
+    }
+
+    #[test]
+    fn adjacency_trait_agrees_across_representations() {
+        let mut g = ring(12);
+        g.add_edge(Slot(2), Slot(9));
+        let view = CsrView::build(&g);
+        for i in 0..12u32 {
+            let s = Slot(i);
+            assert_eq!(Adjacency::neighbors(&g, s), Adjacency::neighbors(&view, s));
+            assert_eq!(Adjacency::degree(&g, s), Adjacency::degree(&view, s));
+        }
+        assert!(Adjacency::has_edge(&view, Slot(2), Slot(9)));
+        assert!(!Adjacency::has_edge(&view, Slot(2), Slot(8)));
+    }
+}

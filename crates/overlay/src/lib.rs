@@ -26,6 +26,7 @@
 pub mod can;
 pub mod chord;
 pub mod chord_dynamic;
+pub mod csr;
 pub mod gnutella;
 pub mod iso;
 pub mod kademlia;
@@ -33,10 +34,12 @@ pub mod logical;
 pub mod net;
 pub mod pastry;
 pub mod placement;
+pub mod table;
 pub mod ultrapeer;
 pub mod walk;
 
-pub use logical::{LogicalGraph, Slot};
+pub use csr::{Adjacency, CsrView};
+pub use logical::{GraphPatch, LogicalGraph, Slot};
 pub use net::{FloodScratch, OverlayNet};
 pub use placement::Placement;
 

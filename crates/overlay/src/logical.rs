@@ -31,18 +31,58 @@ impl fmt::Debug for Slot {
     }
 }
 
+/// One recorded mutation of a [`LogicalGraph`], as replayed by
+/// [`crate::csr::CsrView::sync`] to catch a stale view up without a full
+/// rebuild. `remove_slot` records one `RemoveEdge` per dropped edge followed
+/// by a `KillSlot`, so a consumer never has to infer implicit edge drops.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphPatch {
+    AddEdge(Slot, Slot),
+    RemoveEdge(Slot, Slot),
+    /// A fresh (empty, live) slot was appended.
+    AddSlot,
+    /// The slot was marked dead; its edges were already removed by the
+    /// preceding `RemoveEdge` patches.
+    KillSlot(Slot),
+}
+
+/// Patch-log capacity. When a view falls further behind than this, replay is
+/// impossible and [`LogicalGraph::patches_since`] returns `None` (the caller
+/// rebuilds from scratch). Sized so any realistic between-probe mutation
+/// burst — one exchange is ≤ 4·m patches, one churn event ≤ degree + 1 —
+/// replays incrementally.
+pub const MAX_PATCH_LOG: usize = 4096;
+
 /// Undirected adjacency over slots.
 #[derive(Clone, Debug, Default)]
 pub struct LogicalGraph {
     adj: Vec<Vec<Slot>>,
     alive: Vec<bool>,
     num_edges: usize,
+    /// Live-slot counter, maintained by `add_slot`/`remove_slot` so
+    /// `num_live` is O(1) (churn recomputes δ(G) on every event).
+    num_live: usize,
+    /// Total mutations ever applied; each patch bumps this by one, so a
+    /// generation is also an index into the mutation history.
+    generation: u64,
+    /// The tail of the mutation history: patches `log_base..generation`.
+    log: Vec<GraphPatch>,
+    /// Generation just before `log[0]` was applied.
+    log_base: u64,
 }
 
 impl LogicalGraph {
     /// Graph with `n` live, isolated slots.
     pub fn new(n: usize) -> Self {
-        LogicalGraph { adj: vec![Vec::new(); n], alive: vec![true; n], num_edges: 0 }
+        LogicalGraph {
+            adj: vec![Vec::new(); n],
+            alive: vec![true; n],
+            num_edges: 0,
+            num_live: n,
+            generation: 0,
+            log: Vec::new(),
+            log_base: 0,
+        }
     }
 
     /// Total slots ever allocated (live or not).
@@ -51,9 +91,38 @@ impl LogicalGraph {
         self.adj.len()
     }
 
-    /// Currently live slots.
+    /// Currently live slots. O(1): the counter is maintained by the
+    /// mutators, not recomputed by scanning `alive`.
+    #[inline]
     pub fn num_live(&self) -> usize {
-        self.alive.iter().filter(|&&a| a).count()
+        self.num_live
+    }
+
+    /// Mutation stamp: bumped once per recorded patch. A snapshot taken at
+    /// generation `g` is current iff `g == generation()`.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The patches applied since generation `epoch`, oldest first — exactly
+    /// what replays a snapshot taken at `epoch` up to the present. `None`
+    /// when the log no longer reaches back that far (capped at
+    /// [`MAX_PATCH_LOG`]); the caller must rebuild instead.
+    pub fn patches_since(&self, epoch: u64) -> Option<&[GraphPatch]> {
+        if epoch < self.log_base || epoch > self.generation {
+            return None;
+        }
+        Some(&self.log[(epoch - self.log_base) as usize..])
+    }
+
+    fn record(&mut self, patch: GraphPatch) {
+        if self.log.len() == MAX_PATCH_LOG {
+            self.log.clear();
+            self.log_base = self.generation;
+        }
+        self.log.push(patch);
+        self.generation += 1;
     }
 
     /// Number of undirected edges.
@@ -72,6 +141,8 @@ impl LogicalGraph {
         let s = Slot(self.adj.len() as u32);
         self.adj.push(Vec::new());
         self.alive.push(true);
+        self.num_live += 1;
+        self.record(GraphPatch::AddSlot);
         s
     }
 
@@ -117,6 +188,7 @@ impl LogicalGraph {
         let pos_b = self.adj[b.index()].binary_search(&a).unwrap_err();
         self.adj[b.index()].insert(pos_b, a);
         self.num_edges += 1;
+        self.record(GraphPatch::AddEdge(a, b));
     }
 
     /// Remove edge `a–b`. Panics if absent.
@@ -128,6 +200,7 @@ impl LogicalGraph {
         let pos_b = self.adj[b.index()].binary_search(&a).expect("asymmetric adjacency");
         self.adj[b.index()].remove(pos_b);
         self.num_edges -= 1;
+        self.record(GraphPatch::RemoveEdge(a, b));
     }
 
     /// Kill slot `s`: drop all its edges and mark it dead. Returns its former
@@ -138,9 +211,12 @@ impl LogicalGraph {
         for &n in &neighbors {
             let pos = self.adj[n.index()].binary_search(&s).expect("asymmetric adjacency");
             self.adj[n.index()].remove(pos);
+            self.record(GraphPatch::RemoveEdge(s, n));
         }
         self.num_edges -= neighbors.len();
         self.alive[s.index()] = false;
+        self.num_live -= 1;
+        self.record(GraphPatch::KillSlot(s));
         neighbors
     }
 
@@ -306,5 +382,64 @@ mod tests {
         assert!(g.is_connected());
         assert_eq!(g.min_degree(), None);
         assert!(g.mean_degree().is_nan());
+    }
+
+    #[test]
+    fn live_counter_tracks_churn() {
+        let mut g = path(5);
+        assert_eq!(g.num_live(), 5);
+        g.remove_slot(Slot(2));
+        assert_eq!(g.num_live(), 4);
+        g.add_slot();
+        assert_eq!(g.num_live(), 5);
+        // The counter must agree with the scan it replaced.
+        assert_eq!(g.num_live(), g.live_slots().count());
+    }
+
+    #[test]
+    fn generation_counts_every_mutation() {
+        let mut g = LogicalGraph::new(3);
+        assert_eq!(g.generation(), 0);
+        g.add_edge(Slot(0), Slot(1)); // +1
+        g.add_edge(Slot(1), Slot(2)); // +1
+        g.remove_edge(Slot(0), Slot(1)); // +1
+        let s = g.add_slot(); // +1
+        g.add_edge(s, Slot(0)); // +1
+        assert_eq!(g.generation(), 5);
+        // remove_slot: one RemoveEdge per incident edge + KillSlot.
+        let deg = g.degree(Slot(1)) as u64;
+        g.remove_slot(Slot(1));
+        assert_eq!(g.generation(), 6 + deg);
+    }
+
+    #[test]
+    fn patch_log_replays_the_gap() {
+        let mut g = path(4);
+        let epoch = g.generation();
+        g.add_edge(Slot(0), Slot(2));
+        g.remove_edge(Slot(2), Slot(3));
+        let patches = g.patches_since(epoch).expect("log covers the gap");
+        assert_eq!(
+            patches,
+            &[GraphPatch::AddEdge(Slot(0), Slot(2)), GraphPatch::RemoveEdge(Slot(2), Slot(3))]
+        );
+        // Current epoch ⇒ empty tail; future epoch ⇒ None.
+        assert_eq!(g.patches_since(g.generation()), Some(&[][..]));
+        assert_eq!(g.patches_since(g.generation() + 1), None);
+    }
+
+    #[test]
+    fn patch_log_overflow_forces_rebuild() {
+        let mut g = LogicalGraph::new(2);
+        let epoch = g.generation();
+        for _ in 0..(MAX_PATCH_LOG + 1) {
+            g.add_edge(Slot(0), Slot(1));
+            g.remove_edge(Slot(0), Slot(1));
+        }
+        assert_eq!(g.patches_since(epoch), None, "ancient epochs are not replayable");
+        // A recent epoch inside the surviving tail still is.
+        let recent = g.generation();
+        g.add_edge(Slot(0), Slot(1));
+        assert_eq!(g.patches_since(recent), Some(&[GraphPatch::AddEdge(Slot(0), Slot(1))][..]));
     }
 }

@@ -146,10 +146,9 @@ impl Ultrapeer {
         if src == dst {
             return Some((0, 0));
         }
-        let g = net.graph();
         let max_hops = self.params.flood_ttl + 2;
         let relays = |u: Slot| u == src || self.is_ultrapeer(u);
-        scratch.run(g, src, dst, max_hops, relays, |u, v| {
+        net.run_flood(scratch, src, dst, max_hops, relays, |u, v| {
             net.d(u, v) as u64 + net.proc_delay(v) as u64
         })
     }

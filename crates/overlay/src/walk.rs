@@ -9,7 +9,8 @@
 //! neighbors must never lie on it (that is what keeps the graph connected —
 //! Theorem 1).
 
-use crate::logical::{LogicalGraph, Slot};
+use crate::csr::Adjacency;
+use crate::logical::Slot;
 use prop_engine::SimRng;
 
 /// Result of a probe walk: `path[0]` is the origin, `path.last()` the
@@ -36,8 +37,12 @@ impl WalkPath {
 
 /// Walk `nhops` hops from `origin`, entering via `first_hop` (which must be
 /// a neighbor of `origin`). Later hops are uniform over unvisited neighbors.
+///
+/// Generic over [`Adjacency`]: both representations present identical
+/// sorted neighbor slices, so the candidate order — and therefore the RNG
+/// consumption and the resulting trace — is bit-identical between them.
 pub fn random_walk(
-    g: &LogicalGraph,
+    g: &impl Adjacency,
     origin: Slot,
     first_hop: Slot,
     nhops: u32,
@@ -68,6 +73,7 @@ pub fn random_walk(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::logical::LogicalGraph;
 
     fn ring(n: u32) -> LogicalGraph {
         let mut g = LogicalGraph::new(n as usize);
@@ -138,6 +144,21 @@ mod tests {
         let w = random_walk(&g, Slot(2), Slot(3), 1, &mut rng);
         assert_eq!(w.path, vec![Slot(2), Slot(3)]);
         assert_eq!(w.counterpart(1), Some(Slot(3)));
+    }
+
+    #[test]
+    fn csr_walk_is_bit_identical_to_graph_walk() {
+        let mut g = ring(10);
+        g.add_edge(Slot(0), Slot(5));
+        g.add_edge(Slot(2), Slot(7));
+        let view = crate::CsrView::build(&g);
+        for seed in 0..20u64 {
+            let mut r1 = SimRng::seed_from(seed);
+            let mut r2 = SimRng::seed_from(seed);
+            let w1 = random_walk(&g, Slot(0), Slot(1), 6, &mut r1);
+            let w2 = random_walk(&view, Slot(0), Slot(1), 6, &mut r2);
+            assert_eq!(w1, w2, "seed {seed}");
+        }
     }
 
     #[test]

@@ -1,0 +1,314 @@
+//! csr-equivalence: the CSR adjacency view is a pure representation change.
+//!
+//! The repo's signature guarantee is bit-identical results for a given
+//! seed. The CSR refactor moves the traversal hot paths (floods, walks,
+//! flood-cost BFS, both protocol drivers) onto a second representation of
+//! the same graph, so this group proves the representation is
+//! unobservable: every metric, ledger counter, and final overlay state is
+//! bit-identical between `csr` and `vecvec` runs, across churn, rewires,
+//! stale-epoch rebuilds, and prefetch batching.
+
+use prop::prelude::*;
+use prop_core::Overhead;
+use prop_metrics::{flood_messages, mean_flood_messages, par_mean_flood_messages};
+use prop_overlay::walk::random_walk;
+use prop_overlay::GraphPatch;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// CsrView traversal ≡ LogicalGraph::neighbors under random mutation storms
+// ---------------------------------------------------------------------------
+
+/// One step of a mutation storm, driven by proptest-chosen bytes.
+fn apply_op(g: &mut LogicalGraph, op: u8, a: u32, b: u32) {
+    let n = g.num_slots() as u32;
+    let (a, b) = (Slot(a % n), Slot(b % n));
+    match op % 5 {
+        // Rewire: toggle an edge between two live slots.
+        0 | 1 => {
+            if a != b && g.is_alive(a) && g.is_alive(b) {
+                if g.has_edge(a, b) {
+                    g.remove_edge(a, b);
+                } else {
+                    g.add_edge(a, b);
+                }
+            }
+        }
+        // Churn out: kill a live slot (keep at least two alive).
+        2 => {
+            if g.is_alive(a) && g.live_slots().count() > 2 {
+                g.remove_slot(a);
+            }
+        }
+        // Churn in: fresh slot wired to a live anchor.
+        3 => {
+            let s = g.add_slot();
+            if g.is_alive(b) && s != b {
+                g.add_edge(s, b);
+            }
+        }
+        // Burst: enough paired mutations to age the view far behind.
+        _ => {
+            if a != b && g.is_alive(a) && g.is_alive(b) && !g.has_edge(a, b) {
+                for _ in 0..20 {
+                    g.add_edge(a, b);
+                    g.remove_edge(a, b);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_rows_match_graph_rows_across_mutation_storms(
+        ops in proptest::collection::vec((any::<u8>(), any::<u32>(), any::<u32>()), 1..200),
+        sync_every in 1usize..13,
+    ) {
+        let mut g = LogicalGraph::new(12);
+        for i in 0..12u32 {
+            g.add_edge(Slot(i), Slot((i + 1) % 12));
+        }
+        let mut view = CsrView::build(&g);
+        for (i, &(op, a, b)) in ops.iter().enumerate() {
+            apply_op(&mut g, op, a, b);
+            // Sync at irregular intervals so the view replays patch runs of
+            // many lengths (and, after bursts, takes the rebuild path).
+            if i % sync_every == 0 {
+                view.sync(&g);
+                prop_assert!(view.is_current(&g));
+                for s in 0..g.num_slots() {
+                    prop_assert_eq!(view.neighbors(Slot(s as u32)), g.neighbors(Slot(s as u32)));
+                }
+            }
+        }
+        view.sync(&g);
+        for s in 0..g.num_slots() {
+            prop_assert_eq!(view.neighbors(Slot(s as u32)), g.neighbors(Slot(s as u32)));
+        }
+    }
+
+    #[test]
+    fn stale_epoch_beyond_the_log_forces_a_correct_rebuild(extra in 0usize..8) {
+        let mut g = LogicalGraph::new(6);
+        for i in 0..6u32 {
+            g.add_edge(Slot(i), Slot((i + 1) % 6));
+        }
+        let mut view = CsrView::build(&g);
+        let half = prop_overlay::logical::MAX_PATCH_LOG / 2;
+        for _ in 0..(half + 1 + extra) {
+            g.add_edge(Slot(0), Slot(3));
+            g.remove_edge(Slot(0), Slot(3));
+        }
+        // The log was truncated past the view's epoch: no incremental path.
+        prop_assert!(g.patches_since(view.epoch()).is_none());
+        view.sync(&g);
+        prop_assert!(view.is_current(&g));
+        for s in 0..6u32 {
+            prop_assert_eq!(view.neighbors(Slot(s)), g.neighbors(Slot(s)));
+        }
+    }
+}
+
+#[test]
+fn patch_log_records_every_mutation_kind() {
+    let mut g = LogicalGraph::new(3);
+    g.add_edge(Slot(0), Slot(1));
+    let epoch = g.generation();
+    g.add_edge(Slot(1), Slot(2));
+    let s = g.add_slot();
+    g.add_edge(s, Slot(0));
+    g.remove_edge(Slot(0), Slot(1));
+    g.remove_slot(Slot(2));
+    let patches = g.patches_since(epoch).expect("log covers the gap");
+    assert_eq!(
+        patches,
+        &[
+            GraphPatch::AddEdge(Slot(1), Slot(2)),
+            GraphPatch::AddSlot,
+            GraphPatch::AddEdge(s, Slot(0)),
+            GraphPatch::RemoveEdge(Slot(0), Slot(1)),
+            GraphPatch::RemoveEdge(Slot(2), Slot(1)),
+            GraphPatch::KillSlot(Slot(2)),
+        ]
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Driver runs: csr vs vecvec, batched vs unbatched — bit-identical
+// ---------------------------------------------------------------------------
+
+fn sync_run(
+    seed: u64,
+    cfg: PropConfig,
+    csr: bool,
+    batch: usize,
+) -> (Overhead, u64, Vec<(Slot, Slot)>) {
+    let mut rng = SimRng::seed_from(seed);
+    let phys = generate(&TransitStubParams::tiny(), &mut rng);
+    let oracle = Arc::new(LatencyOracle::select_and_build(&phys, 30, &mut rng));
+    let (_, mut net) = Gnutella::build(GnutellaParams::default(), oracle, &mut rng);
+    net.set_csr_enabled(csr);
+    let mut sim = ProtocolSim::new(net, cfg, &mut rng);
+    sim.set_trial_batch(batch);
+    sim.run_for(Duration::from_minutes(45));
+    let o = sim.overhead();
+    let net = sim.into_net();
+    (o, net.total_link_latency(), net.graph().edges().collect())
+}
+
+#[test]
+fn sync_driver_is_repr_invariant() {
+    for (seed, cfg) in [(1, PropConfig::prop_g()), (2, PropConfig::prop_o())] {
+        let csr = sync_run(seed, cfg.clone(), true, 64);
+        let legacy = sync_run(seed, cfg, false, 1);
+        assert_eq!(csr.0, legacy.0, "Overhead diverged (seed {seed})");
+        assert_eq!(csr.1, legacy.1, "total latency diverged (seed {seed})");
+        assert_eq!(csr.2, legacy.2, "final edges diverged (seed {seed})");
+    }
+}
+
+fn async_run(seed: u64, cfg: PropConfig, csr: bool, batch: usize) -> (prop_core::AsyncStats, u64) {
+    let mut rng = SimRng::seed_from(seed);
+    let phys = generate(&TransitStubParams::tiny(), &mut rng);
+    let oracle = Arc::new(LatencyOracle::select_and_build(&phys, 30, &mut rng));
+    let (_, mut net) = Gnutella::build(GnutellaParams::default(), oracle, &mut rng);
+    net.set_csr_enabled(csr);
+    let mut sim = AsyncProtocolSim::new(net, cfg, &mut rng);
+    sim.set_trial_batch(batch);
+    sim.run_for(Duration::from_minutes(45));
+    let s = sim.stats();
+    let net = sim.into_net();
+    (s, net.total_link_latency())
+}
+
+#[test]
+fn async_driver_is_repr_invariant() {
+    for (seed, cfg) in [(3, PropConfig::prop_g()), (4, PropConfig::prop_o())] {
+        let csr = async_run(seed, cfg.clone(), true, 64);
+        let legacy = async_run(seed, cfg, false, 1);
+        assert_eq!(csr.0, legacy.0, "AsyncStats diverged (seed {seed})");
+        assert_eq!(csr.1, legacy.1, "total latency diverged (seed {seed})");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Measurement plane: floods, stretch, walks, flood cost — bit-identical
+// ---------------------------------------------------------------------------
+
+fn measured_net(seed: u64, csr: bool) -> (Gnutella, OverlayNet) {
+    let mut rng = SimRng::seed_from(seed);
+    let phys = generate(&TransitStubParams::tiny(), &mut rng);
+    let oracle = Arc::new(LatencyOracle::select_and_build(&phys, 40, &mut rng));
+    let (gn, net) = Gnutella::build(GnutellaParams::default(), oracle, &mut rng);
+    let mut sim = ProtocolSim::new(net, PropConfig::prop_o(), &mut rng);
+    sim.run_for(Duration::from_minutes(20));
+    let mut net = sim.into_net();
+    net.set_csr_enabled(csr);
+    (gn, net)
+}
+
+#[test]
+fn flood_latency_and_ledger_are_repr_invariant() {
+    let (_, net_a) = measured_net(5, true);
+    let (_, net_b) = measured_net(5, false);
+    let mut sa = FloodScratch::new();
+    let mut sb = FloodScratch::new();
+    let live: Vec<Slot> = net_a.graph().live_slots().collect();
+    for &src in &live {
+        for &dst in live.iter().take(10) {
+            let a = net_a.min_latency_within_hops_with(src, dst, 5, &mut sa);
+            let b = net_b.min_latency_within_hops_with(src, dst, 5, &mut sb);
+            assert_eq!(a, b, "{src:?}→{dst:?}");
+        }
+    }
+    // Same traversal order ⇒ the work ledger agrees counter for counter.
+    assert_eq!(sa.edges_scanned(), sb.edges_scanned());
+    assert_eq!(sa.improvements(), sb.improvements());
+    assert_eq!(sa.frontier_pushes(), sb.frontier_pushes());
+}
+
+#[test]
+fn stretch_and_lookup_metrics_are_repr_invariant() {
+    let (gn_a, net_a) = measured_net(6, true);
+    let (gn_b, net_b) = measured_net(6, false);
+    let live: Vec<Slot> = net_a.graph().live_slots().collect();
+    let mut rng = SimRng::seed_from(99);
+    let pairs = LookupGen::new(&rng.fork("pairs")).uniform_pairs(&live, 150);
+    let la = avg_lookup_latency(&net_a, &gn_a, &pairs);
+    let lb = avg_lookup_latency(&net_b, &gn_b, &pairs);
+    assert_eq!(la.mean_ms.to_bits(), lb.mean_ms.to_bits());
+    assert_eq!(la.mean_hops.to_bits(), lb.mean_hops.to_bits());
+    assert_eq!((la.delivered, la.failed), (lb.delivered, lb.failed));
+    // Parallel plane over CSR vs serial plane over vecvec: still identical.
+    let lp = par_avg_lookup_latency(&net_a, &gn_a, &pairs);
+    assert_eq!(lp.mean_ms.to_bits(), lb.mean_ms.to_bits());
+    let sa = path_stretch(&net_a, &gn_a, &pairs);
+    let sb = path_stretch(&net_b, &gn_b, &pairs);
+    assert_eq!(sa.mean.to_bits(), sb.mean.to_bits());
+}
+
+#[test]
+fn walk_traces_are_repr_invariant() {
+    let (_, net_a) = measured_net(7, true);
+    let (_, net_b) = measured_net(7, false);
+    let live: Vec<Slot> = net_a.graph().live_slots().collect();
+    for (i, &origin) in live.iter().enumerate() {
+        let first = net_a.graph().neighbors(origin)[0];
+        let mut ra = SimRng::seed_from(i as u64);
+        let mut rb = SimRng::seed_from(i as u64);
+        let wa = net_a.probe_walk(origin, first, 4, &mut ra);
+        let wb = net_b.probe_walk(origin, first, 4, &mut rb);
+        assert_eq!(wa, wb, "walk from {origin:?} diverged");
+        // And against the raw graph-rows walk, for good measure.
+        let mut rc = SimRng::seed_from(i as u64);
+        let wc = random_walk(net_b.graph(), origin, first, 4, &mut rc);
+        assert_eq!(wa, wc);
+    }
+}
+
+#[test]
+fn flood_cost_is_repr_invariant() {
+    let (_, net_a) = measured_net(8, true);
+    let (_, net_b) = measured_net(8, false);
+    let live: Vec<Slot> = net_a.graph().live_slots().collect();
+    for &src in &live {
+        let view = net_a.csr().expect("csr current after into_net");
+        assert_eq!(flood_messages(view, src, 4), flood_messages(net_b.graph(), src, 4));
+    }
+    let a = mean_flood_messages(&net_a, &live, 4);
+    let b = mean_flood_messages(&net_b, &live, 4);
+    let c = par_mean_flood_messages(&net_a, &live, 4);
+    assert_eq!(a.to_bits(), b.to_bits());
+    assert_eq!(a.to_bits(), c.to_bits());
+}
+
+#[test]
+fn stale_view_falls_back_without_changing_answers() {
+    // Mutate the graph without refreshing: csr() must report stale and the
+    // flood path must silently use the legacy rows — same answers as a net
+    // that never had CSR enabled.
+    let (_, mut net_a) = measured_net(9, true);
+    let (_, mut net_b) = measured_net(9, false);
+    assert!(net_a.csr().is_some());
+    for net in [&mut net_a, &mut net_b] {
+        let (u, v) = net.graph().edges().next().unwrap();
+        net.graph_mut().remove_edge(u, v);
+        net.graph_mut().add_edge(u, v);
+    }
+    assert!(net_a.csr().is_none(), "view must read as stale after mutation");
+    let live: Vec<Slot> = net_a.graph().live_slots().collect();
+    for &src in live.iter().take(10) {
+        for &dst in live.iter().take(10) {
+            assert_eq!(
+                net_a.min_latency_within_hops(src, dst, 5),
+                net_b.min_latency_within_hops(src, dst, 5)
+            );
+        }
+    }
+    net_a.refresh_csr();
+    assert!(net_a.csr().is_some(), "refresh must restore the fast path");
+}
