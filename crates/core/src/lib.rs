@@ -41,7 +41,7 @@ pub mod sim;
 pub mod sim_async;
 
 pub use config::{Policy, ProbeMode, PropConfig};
-pub use exchange::{plan_exchange, ExchangePlan};
+pub use exchange::{decide, exact_var, plan_exchange, var_terms, ExchangePlan};
 pub use fault::{Delivery, FaultCounters, FaultPlane, MsgKind};
 pub use sim::{Overhead, ProtocolSim, DEFAULT_TRIAL_BATCH};
 pub use sim_async::{AsyncProtocolSim, AsyncStats};

@@ -341,7 +341,9 @@ impl ProtocolSim {
                     }
                     PlanKind::Subset { from_u, from_v } => (from_u.len() + from_v.len()) as u64,
                 };
-                if plan.var > self.cfg.min_var {
+                // `Var > MIN_VAR` with the embedded tier's exact-fallback
+                // band: borderline comparisons re-evaluate exactly.
+                if exchange::decide(&self.net, &plan, self.cfg.min_var) {
                     self.perform(&plan);
                     exchanged = true;
                 }

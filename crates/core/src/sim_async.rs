@@ -449,7 +449,9 @@ impl AsyncProtocolSim {
         if let Some(plan) =
             exchange::plan_exchange(&self.net, self.cfg.policy, &walk, self.m_default)
         {
-            if plan.var > self.cfg.min_var {
+            // `Var > MIN_VAR` with the embedded tier's exact-fallback band
+            // (see `exchange::decide`) — same rule the sync driver applies.
+            if exchange::decide(&self.net, &plan, self.cfg.min_var) {
                 self.apply_committed(&plan);
                 exchanged = true;
             }

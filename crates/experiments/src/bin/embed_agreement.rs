@@ -1,0 +1,73 @@
+//! embed_agreement — gate the embedded tier's exchange-decision quality.
+//!
+//! ```text
+//! cargo run --release -p prop-experiments --bin embed_agreement
+//!     [--quick] [--seed N] [--n MEMBERS] [--samples N] [--floor RATE]
+//! ```
+//!
+//! Samples candidate PROP-G/PROP-O exchanges on a Gnutella overlay built
+//! over the coordinate-embedded oracle tier and compares the banded
+//! decision ([`prop_core::decide`]) against the exact one plan by plan
+//! (see [`prop_experiments::embed_agreement`]). Defaults: 100,000 members
+//! and 2,000 samples over scaled transit-stub geometry (`--quick`:
+//! 20,000 members, 1,000 samples — what CI runs). Exits non-zero when the
+//! agreement rate falls below `--floor` (default 0.99).
+
+use prop_experiments::embed_agreement::run;
+use prop_experiments::report::write_json;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut n = 100_000usize;
+    let mut samples = 2_000usize;
+    let mut seed = 1u64;
+    let mut floor = 0.99f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => {
+                n = 20_000;
+                samples = 1_000;
+            }
+            "--seed" => {
+                seed = args.next().and_then(|s| s.parse().ok()).expect("--seed needs an integer");
+            }
+            "--n" => {
+                n = args.next().and_then(|s| s.parse().ok()).expect("--n needs a member count");
+            }
+            "--samples" => {
+                samples =
+                    args.next().and_then(|s| s.parse().ok()).expect("--samples needs an integer");
+            }
+            "--floor" => {
+                floor = args.next().and_then(|s| s.parse().ok()).expect("--floor needs a rate");
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    let report = run(n, samples, seed);
+    println!(
+        "embed agreement: n = {}, {} plans, {} agree ({:.4}), {} escalations ({:.4})",
+        report.members,
+        report.plans,
+        report.agreements,
+        report.agreement_rate,
+        report.escalations,
+        report.escalation_rate,
+    );
+    if let Some(embed) = &report.embed {
+        println!("  {embed}");
+    }
+    write_json("embed_agreement", &report);
+
+    if report.agreement_rate < floor {
+        eprintln!(
+            "EMBED AGREEMENT REGRESSION: rate {:.4} below floor {:.4}",
+            report.agreement_rate, floor
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("agreement floor passed ({:.4} >= {floor:.4})", report.agreement_rate);
+    ExitCode::SUCCESS
+}

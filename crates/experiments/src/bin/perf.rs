@@ -64,6 +64,15 @@ fn main() -> ExitCode {
             m.flood_frontier_pushes_per_lookup
         );
         println!("  oracle      {:>11.1}% row-cache hit rate", m.oracle_hit_rate * 100.0);
+        println!(
+            "  oracle ns/q {:>12.1} dense   {:>8.1} cached-cold   {:>8.1} cached-warm   \
+             {:>8.1} embedded   ({:.1}x embed vs cold)",
+            m.oracle_dense_ns,
+            m.oracle_cached_cold_ns,
+            m.oracle_cached_warm_ns,
+            m.oracle_embed_ns,
+            m.oracle_embed_cold_speedup
+        );
     }
 
     match serde_json::to_string_pretty(&report) {

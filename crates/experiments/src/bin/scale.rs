@@ -18,7 +18,16 @@
 //!
 //! ```text
 //! cargo run --release -p prop-experiments --bin scale [--quick] [--seed N]
+//!     [--oracle-tier auto|dense|cached|embedded] [--million]
 //! ```
+//!
+//! `--oracle-tier` pins the oracle tier instead of letting the member
+//! count choose — the axis for comparing the row-cache and the
+//! coordinate-embedded paths on identical workloads. `--million` appends a
+//! 1,000,000-member entry: the query storm runs on whatever tier the
+//! config picks (embedded, under `auto`), and the PROP warm-up stage is
+//! skipped above [`WARMUP_MAX_MEMBERS`] members — the overlay drivers are
+//! built for protocol fidelity, not million-node wall-clock.
 //!
 //! Useful for sizing reproduction runs; not a paper figure. Wall-clock
 //! numbers are machine-dependent by nature; the 100k paper-scale run is
@@ -27,9 +36,9 @@
 
 use prop_core::{PropConfig, ProtocolSim};
 use prop_engine::{Duration, SimRng};
-use prop_experiments::report::{write_json, Cli};
-use prop_experiments::setup::Scale;
-use prop_metrics::OracleCacheReport;
+use prop_experiments::report::write_json;
+use prop_experiments::setup::{OracleTier, Scale};
+use prop_metrics::{OracleCacheReport, OracleEmbedReport};
 use prop_netsim::{generate, LatencyOracle, OracleConfig, TransitStubParams};
 use prop_overlay::gnutella::{Gnutella, GnutellaParams};
 use prop_overlay::{OverlayNet, Slot};
@@ -39,6 +48,10 @@ use std::time::Instant;
 
 /// Hard cap on oracle cache memory — the headline claim of this binary.
 const CACHE_CAP_BYTES: usize = 512 << 20;
+
+/// Largest membership the PROP warm-up stage runs at; beyond it only the
+/// query storm executes (see the module docs on `--million`).
+const WARMUP_MAX_MEMBERS: usize = 200_000;
 
 #[derive(Serialize)]
 struct SizeReport {
@@ -53,6 +66,9 @@ struct SizeReport {
     queries_per_sec: f64,
     mean_query_latency_ms: f64,
     query_cache: OracleCacheReport,
+    /// Embed-tier counters and calibration over the storm; absent on the
+    /// exact tiers.
+    query_embed: Option<OracleEmbedReport>,
     warmups: Vec<WarmupReport>,
 }
 
@@ -68,16 +84,39 @@ struct WarmupReport {
 }
 
 fn main() {
-    let cli = Cli::parse();
-    let (sizes, queries, sim_minutes): (Vec<usize>, usize, u64) = match cli.scale {
+    let mut scale = Scale::Paper;
+    let mut seed = 1u64;
+    let mut tier = OracleTier::Auto;
+    let mut million = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--seed" => {
+                seed = args.next().and_then(|s| s.parse().ok()).expect("--seed needs an integer");
+            }
+            "--oracle-tier" => {
+                let val = args.next().expect("--oracle-tier needs auto|dense|cached|embedded");
+                tier = OracleTier::parse(&val).unwrap_or_else(|| {
+                    panic!("--oracle-tier must be auto|dense|cached|embedded, got {val}")
+                });
+            }
+            "--million" => million = true,
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    let (mut sizes, queries, sim_minutes): (Vec<usize>, usize, u64) = match scale {
         Scale::Paper => (vec![2_000, 50_000, 100_000], 1_000_000, 5),
         Scale::Quick => (vec![2_000, 5_000, 20_000], 200_000, 3),
     };
-    let cfg = OracleConfig { cache_capacity_bytes: CACHE_CAP_BYTES, ..OracleConfig::default() };
+    if million {
+        sizes.push(1_000_000);
+    }
+    let cfg = tier.config(CACHE_CAP_BYTES);
 
     let mut reports = Vec::new();
     for n in sizes {
-        reports.push(run_size(n, queries, sim_minutes, &cfg, cli.seed));
+        reports.push(run_size(n, queries, sim_minutes, &cfg, seed));
     }
     write_json("scale", &reports);
 }
@@ -109,8 +148,12 @@ fn run_size(
 
     // Stage 1: the query storm. Group by source so each cached row is
     // computed once, and warm sources in batches sized to half the cache
-    // so a batch never evicts its own rows.
+    // so a batch never evicts its own rows. On the coordinate-embedded
+    // tier `d(u,v)` never touches a row, so warming would only run
+    // Dijkstras the storm doesn't need — skip it there.
+    let warm = oracle.tier() != "coord-embed";
     let mark = oracle.cache_stats().unwrap_or_default();
+    let embed_mark = oracle.embed_stats().unwrap_or_default();
     let t0 = Instant::now();
     let mut pairs: Vec<(usize, usize)> =
         (0..queries).map(|_| (rng.range(0..n), rng.range(0..n))).collect();
@@ -134,7 +177,9 @@ fn run_size(
         while j < pairs.len() && pairs[j].0 == pairs[j - 1].0 {
             j += 1;
         }
-        oracle.warm_rows(&batch);
+        if warm {
+            oracle.warm_rows(&batch);
+        }
         for &(a, b) in &pairs[i..j] {
             let d = oracle.d(a, b);
             total_latency += d as u64;
@@ -144,6 +189,7 @@ fn run_size(
     }
     let query_ms = t0.elapsed().as_secs_f64() * 1e3;
     let query_cache = OracleCacheReport::from_oracle_since(&oracle, &mark);
+    let query_embed = OracleEmbedReport::from_oracle_since(&oracle, &embed_mark);
     let mean_query_latency_ms =
         if answered == 0 { 0.0 } else { total_latency as f64 / answered as f64 };
     println!(
@@ -153,6 +199,9 @@ fn run_size(
         mean_query_latency_ms,
     );
     println!("  {query_cache}");
+    if let Some(embed) = &query_embed {
+        println!("  {embed}");
+    }
     if let Some(stats) = oracle.cache_stats() {
         assert!(
             stats.peak_resident_bytes <= CACHE_CAP_BYTES,
@@ -167,8 +216,29 @@ fn run_size(
         );
     }
 
-    // Stage 2: PROP warm-up over the same oracle.
+    // Stage 2: PROP warm-up over the same oracle. Skipped above
+    // WARMUP_MAX_MEMBERS: the drivers run full protocol fidelity per node,
+    // which at a million members is an offline-study workload, not a
+    // sizing probe.
     let mut warmups = Vec::new();
+    if n > WARMUP_MAX_MEMBERS {
+        println!("(skipping PROP warm-up at n = {n} > {WARMUP_MAX_MEMBERS})");
+        return SizeReport {
+            members: n,
+            phys_hosts: phys.num_nodes(),
+            phys_links: phys.num_links(),
+            tier: oracle.tier(),
+            topo_ms,
+            oracle_build_ms,
+            queries,
+            query_ms,
+            queries_per_sec: queries as f64 / (query_ms / 1e3),
+            mean_query_latency_ms,
+            query_cache,
+            query_embed,
+            warmups,
+        };
+    }
     for (label, policy) in [("PROP-G", PropConfig::prop_g()), ("PROP-O", PropConfig::prop_o())] {
         let mut wrng = rng.fork(label);
         let (_gn, net) = Gnutella::build(GnutellaParams::default(), Arc::clone(&oracle), &mut wrng);
@@ -209,6 +279,7 @@ fn run_size(
         queries_per_sec: queries as f64 / (query_ms / 1e3),
         mean_query_latency_ms,
         query_cache,
+        query_embed,
         warmups,
     }
 }
@@ -222,8 +293,11 @@ fn batched_stretch(net: &OverlayNet, rows_per_batch: usize) -> f64 {
     let slots: Vec<Slot> = g.live_slots().collect();
     let mut total = 0u64;
     let mut edges = 0u64;
+    let warm = net.oracle().tier() != "coord-embed";
     for chunk in slots.chunks(rows_per_batch.max(1)) {
-        net.warm_latency_rows(chunk);
+        if warm {
+            net.warm_latency_rows(chunk);
+        }
         for &a in chunk {
             for &b in g.neighbors(a) {
                 if a < b {

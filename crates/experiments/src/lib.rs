@@ -17,6 +17,7 @@
 //! Criterion benches.
 
 pub mod ablation;
+pub mod embed_agreement;
 pub mod faults;
 pub mod fig5;
 pub mod fig6;
@@ -27,7 +28,7 @@ pub mod plot;
 pub mod report;
 pub mod setup;
 
-pub use setup::{Scale, Scenario, Topology};
+pub use setup::{OracleTier, Scale, Scenario, Topology};
 
 /// Convenience re-export used by the figure binaries: convergence summary
 /// of a sampled series (see [`prop_metrics::convergence`]).

@@ -13,6 +13,13 @@
 //!    algorithmic cost of a flood, independent of the clock.
 //! 4. **Oracle hit rate** — the row-cache behaviour of the same workload
 //!    on the cached oracle tier sized to hold half the rows.
+//! 5. **Oracle tier microbench** — ns per `d(u,v)` query on each tier over
+//!    one identical random-pair workload: dense (array lookup), row-cache
+//!    cold (first pass, Dijkstra misses) and warm (second pass, all hits),
+//!    and coordinate-embedded (O(1) arithmetic). The headline ratio
+//!    `oracle_embed_cold_speedup` is cached-cold over embedded — the
+//!    factor the embedded tier buys on a workload whose rows aren't
+//!    resident yet.
 //!
 //! The binary (`cargo run --release -p prop-experiments --bin perf`)
 //! runs both Quick and Paper scale and writes the report to
@@ -24,7 +31,7 @@
 //! on the *same* machine (CI runners, a developer box before/after a
 //! change).
 
-use crate::setup::{Scale, Scenario, Topology};
+use crate::setup::{OracleTier, Scale, Scenario, Topology};
 use prop_core::{PropConfig, ProtocolSim};
 use prop_engine::{Duration, SimRng};
 use prop_metrics::{avg_lookup_latency, par_avg_lookup_latency};
@@ -127,6 +134,32 @@ pub struct PerfMetrics {
     /// Row-cache hit rate of the workload on the cached oracle tier sized
     /// to half the member rows.
     pub oracle_hit_rate: f64,
+    /// ns per `d(u,v)` on the dense tier (full matrix lookup). The oracle
+    /// microbench fields default to 0 so baselines written before they
+    /// existed still load (0 is record-only under `--check`).
+    #[serde(default)]
+    pub oracle_dense_ns: f64,
+    /// ns per query on the row-cache tier, first pass (rows cold).
+    #[serde(default)]
+    pub oracle_cached_cold_ns: f64,
+    /// ns per query on the row-cache tier, second pass (rows resident).
+    #[serde(default)]
+    pub oracle_cached_warm_ns: f64,
+    /// ns per query on the coordinate-embedded tier.
+    #[serde(default)]
+    pub oracle_embed_ns: f64,
+    /// `oracle_cached_cold_ns / oracle_embed_ns`.
+    #[serde(default)]
+    pub oracle_embed_cold_speedup: f64,
+}
+
+/// Per-tier ns-per-query over one identical random-pair workload.
+#[derive(Clone, Copy, Debug)]
+pub struct OracleTierBench {
+    pub dense_ns: f64,
+    pub cached_cold_ns: f64,
+    pub cached_warm_ns: f64,
+    pub embed_ns: f64,
 }
 
 /// One metric's `--check` verdict.
@@ -257,6 +290,9 @@ pub fn run_metrics(
     // evictions.
     let oracle_hit_rate = cached_tier_hit_rate(topo, n, lookups, seed);
 
+    // Stage 5: the per-tier oracle microbench on one identical workload.
+    let tiers = oracle_tier_bench(topo, n, lookups, seed);
+
     PerfMetrics {
         driver_trials_per_sec: driver_trials as f64 / driver_secs,
         driver_trials,
@@ -268,7 +304,49 @@ pub fn run_metrics(
         flood_improvements_per_lookup: per_lookup(scratch.improvements()),
         flood_frontier_pushes_per_lookup: per_lookup(scratch.frontier_pushes()),
         oracle_hit_rate,
+        oracle_dense_ns: tiers.dense_ns,
+        oracle_cached_cold_ns: tiers.cached_cold_ns,
+        oracle_cached_warm_ns: tiers.cached_warm_ns,
+        oracle_embed_ns: tiers.embed_ns,
+        oracle_embed_cold_speedup: tiers.cached_cold_ns / tiers.embed_ns.max(f64::MIN_POSITIVE),
     }
+}
+
+/// Time one pass of `queries` random `d(u,v)` calls on every tier, built
+/// over the same physical graph and member set. The cold number is the
+/// cached tier's *first* pass (every distinct source pays its Dijkstra),
+/// the warm number a second pass over the now-resident rows; the cache is
+/// sized to hold every row so the warm pass never misses.
+pub fn oracle_tier_bench(topo: Topology, n: usize, queries: usize, seed: u64) -> OracleTierBench {
+    let mut rng = SimRng::seed_from(seed ^ 0x7e1e_5c0e);
+    let phys = generate(&topo.params(), &mut rng);
+    let pairs: Vec<(usize, usize)> =
+        (0..queries.max(1)).map(|_| (rng.range(0..n), rng.range(0..n))).collect();
+    // Identical fork label ⇒ identical member selection on every tier.
+    let build = |cfg: &OracleConfig| {
+        let mut r = rng.fork("oracle-tier-members");
+        LatencyOracle::select_and_build_with(&phys, n, &mut r, cfg)
+    };
+    let time_pass = |oracle: &LatencyOracle| -> f64 {
+        let t = Instant::now();
+        let mut acc = 0u64;
+        for &(a, b) in &pairs {
+            acc += oracle.d(a, b) as u64;
+        }
+        std::hint::black_box(acc);
+        t.elapsed().as_secs_f64() * 1e9 / pairs.len() as f64
+    };
+    let full_cap = (4 * n * n).max(1);
+
+    let dense = build(&OracleTier::Dense.config(full_cap));
+    let dense_ns = time_pass(&dense);
+    let cached = build(&OracleTier::Cached.config(full_cap));
+    let cached_cold_ns = time_pass(&cached);
+    let cached_warm_ns = time_pass(&cached);
+    let embedded = build(&OracleTier::Embedded.config(full_cap));
+    let embed_ns = time_pass(&embedded);
+
+    OracleTierBench { dense_ns, cached_cold_ns, cached_warm_ns, embed_ns }
 }
 
 fn cached_tier_hit_rate(topo: Topology, n: usize, lookups: usize, seed: u64) -> f64 {
@@ -375,6 +453,20 @@ mod tests {
         // Each flood round re-queries a frontier row once per neighbor, so
         // even the half-sized cache must serve a solid hit fraction.
         assert!(m.oracle_hit_rate > 0.5, "hit rate {}", m.oracle_hit_rate);
+        // The tier microbench always produces positive timings, and warming
+        // the row cache can only make it faster (1.5× slack absorbs clock
+        // jitter at this miniature query count).
+        assert!(m.oracle_dense_ns > 0.0);
+        assert!(m.oracle_cached_cold_ns > 0.0);
+        assert!(m.oracle_cached_warm_ns > 0.0);
+        assert!(m.oracle_embed_ns > 0.0);
+        assert!(m.oracle_embed_cold_speedup > 0.0);
+        assert!(
+            m.oracle_cached_warm_ns <= m.oracle_cached_cold_ns * 1.5,
+            "warm {} vs cold {}",
+            m.oracle_cached_warm_ns,
+            m.oracle_cached_cold_ns
+        );
     }
 
     #[test]
@@ -419,6 +511,11 @@ mod tests {
                     flood_improvements_per_lookup: 1.0,
                     flood_frontier_pushes_per_lookup: 1.0,
                     oracle_hit_rate: 0.9,
+                    oracle_dense_ns: 10.0,
+                    oracle_cached_cold_ns: 1000.0,
+                    oracle_cached_warm_ns: 20.0,
+                    oracle_embed_ns: 15.0,
+                    oracle_embed_cold_speedup: 1000.0 / 15.0,
                 },
             }],
         }

@@ -1,7 +1,7 @@
 //! Shared experiment scaffolding: topologies, scales, scenario builders.
 
 use prop_engine::{Duration, SimRng};
-use prop_netsim::{generate, LatencyOracle, PhysGraph, TransitStubParams};
+use prop_netsim::{generate, LatencyOracle, OracleConfig, PhysGraph, TransitStubParams};
 use prop_overlay::chord::{Chord, ChordParams};
 use prop_overlay::gnutella::{Gnutella, GnutellaParams};
 use prop_overlay::{OverlayNet, Slot};
@@ -31,6 +31,59 @@ impl Topology {
             Topology::TsLarge => "ts-large",
             Topology::TsSmall => "ts-small",
             Topology::Tiny => "tiny",
+        }
+    }
+}
+
+/// Which latency-oracle tier an experiment forces. `Auto` lets the member
+/// count pick through the config thresholds (the production default); the
+/// others pin the tier regardless of size, so the same workload can be
+/// compared across the dense, row-cache, and coordinate-embedded paths.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OracleTier {
+    Auto,
+    Dense,
+    Cached,
+    Embedded,
+}
+
+impl OracleTier {
+    /// Parse an `--oracle-tier` argument.
+    pub fn parse(s: &str) -> Option<OracleTier> {
+        match s {
+            "auto" => Some(OracleTier::Auto),
+            "dense" => Some(OracleTier::Dense),
+            "cached" | "row-cache" => Some(OracleTier::Cached),
+            "embedded" | "coord-embed" => Some(OracleTier::Embedded),
+            _ => None,
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            OracleTier::Auto => "auto",
+            OracleTier::Dense => "dense",
+            OracleTier::Cached => "cached",
+            OracleTier::Embedded => "embedded",
+        }
+    }
+
+    /// The forcing [`OracleConfig`], with the row cache (the tier itself on
+    /// `Cached`, the escalation cache on `Embedded`) capped at
+    /// `cache_capacity_bytes`.
+    pub fn config(self, cache_capacity_bytes: usize) -> OracleConfig {
+        match self {
+            OracleTier::Auto => OracleConfig { cache_capacity_bytes, ..OracleConfig::default() },
+            OracleTier::Dense => OracleConfig {
+                dense_threshold: usize::MAX,
+                embed_threshold: usize::MAX,
+                cache_capacity_bytes,
+                ..OracleConfig::default()
+            },
+            OracleTier::Cached => OracleConfig::cached(cache_capacity_bytes),
+            OracleTier::Embedded => {
+                OracleConfig { cache_capacity_bytes, ..OracleConfig::embedded() }
+            }
         }
     }
 }
@@ -94,9 +147,17 @@ impl Scenario {
     /// Generate the physical network, select `n` overlay members from its
     /// stub hosts, and precompute the latency oracle.
     pub fn build(topology: Topology, n: usize, seed: u64) -> Self {
+        Self::build_with(topology, n, seed, &OracleConfig::default())
+    }
+
+    /// [`Scenario::build`] with an explicit oracle config — how the
+    /// tier-comparison experiments pin a tier (see [`OracleTier::config`]).
+    /// The RNG consumption is identical to `build`, so two scenarios that
+    /// differ only in config share topology, membership, and overlays.
+    pub fn build_with(topology: Topology, n: usize, seed: u64, cfg: &OracleConfig) -> Self {
         let mut rng = SimRng::seed_from(seed);
         let phys = generate(&topology.params(), &mut rng);
-        let oracle = Arc::new(LatencyOracle::select_and_build(&phys, n, &mut rng));
+        let oracle = Arc::new(LatencyOracle::select_and_build_with(&phys, n, &mut rng, cfg));
         Scenario { topology, n, seed, oracle, phys, rng }
     }
 
@@ -150,6 +211,42 @@ mod tests {
         assert!(Scale::Quick.default_n() < Scale::Paper.default_n());
         assert!(Scale::Quick.horizon() < Scale::Paper.horizon());
         assert!(Scale::Quick.lookups_per_sample() < Scale::Paper.lookups_per_sample());
+    }
+
+    #[test]
+    fn oracle_tier_parse_and_config_force_tiers() {
+        for (s, t) in [
+            ("auto", OracleTier::Auto),
+            ("dense", OracleTier::Dense),
+            ("cached", OracleTier::Cached),
+            ("row-cache", OracleTier::Cached),
+            ("embedded", OracleTier::Embedded),
+            ("coord-embed", OracleTier::Embedded),
+        ] {
+            assert_eq!(OracleTier::parse(s), Some(t));
+        }
+        assert_eq!(OracleTier::parse("bogus"), None);
+
+        let cap = 1 << 20;
+        for (tier, expect) in [
+            (OracleTier::Dense, "dense"),
+            (OracleTier::Cached, "row-cache"),
+            (OracleTier::Embedded, "coord-embed"),
+        ] {
+            let s = Scenario::build_with(Topology::Tiny, 16, 3, &tier.config(cap));
+            assert_eq!(s.oracle.tier(), expect, "forcing {:?}", tier);
+        }
+    }
+
+    #[test]
+    fn forced_tiers_share_membership_with_auto() {
+        // Same seed + topology ⇒ same hosts regardless of oracle config.
+        let auto = Scenario::build(Topology::Tiny, 16, 5);
+        let emb =
+            Scenario::build_with(Topology::Tiny, 16, 5, &OracleTier::Embedded.config(1 << 20));
+        for i in 0..16 {
+            assert_eq!(auto.oracle.host(i), emb.oracle.host(i));
+        }
     }
 
     #[test]

@@ -11,7 +11,8 @@
 //! * [`degree`] — degree-distribution summaries for the PROP-O
 //!   power-law-preservation argument.
 //! * [`oraclestats`] — latency-oracle row-cache hit/miss/eviction counters
-//!   for large-scale (beyond-paper) runs.
+//!   and coordinate-embedding query/escalation/calibration reports for
+//!   large-scale (beyond-paper) runs.
 //! * [`faultstats`] — fault-plane counters (drops, dups, reorders,
 //!   partition time, crashed-commit aborts) with derived rates, for the
 //!   robustness sweeps.
@@ -35,7 +36,7 @@ pub use faultstats::FaultReport;
 pub use floodcost::{flood_messages, mean_flood_messages, par_mean_flood_messages};
 pub use histogram::{class_breakdown, ClassBreakdown, LatencyCdf};
 pub use latency::{avg_lookup_latency, par_avg_lookup_latency, LatencySummary};
-pub use oraclestats::OracleCacheReport;
+pub use oraclestats::{OracleCacheReport, OracleEmbedReport};
 pub use plane::{warm_pair_rows, MEASURE_CHUNK};
 pub use stretch::{link_stretch, par_path_stretch, path_stretch, StretchSummary};
 pub use timeseries::TimeSeries;

@@ -38,9 +38,11 @@ use prop_overlay::{OverlayNet, Slot};
 pub const MEASURE_CHUNK: usize = 256;
 
 /// Prefetch the oracle rows behind a pair workload: dedups every slot named
-/// in `pairs` and batch-warms their rows (no-op on the dense tier,
-/// rayon-parallel Dijkstras on the row-cache tier). Measurement entry
-/// points call this before fanning out so workers start from a warm cache.
+/// in `pairs` — a Zipf workload names hot sources hundreds of times — and
+/// batch-warms their rows exactly once each (no-op on the dense tier,
+/// rayon-parallel Dijkstras on the row-cache tier, exact-escalation-cache
+/// warm-up on the coordinate-embedded tier). Measurement entry points call
+/// this before fanning out so workers start from a warm cache.
 pub fn warm_pair_rows(net: &OverlayNet, pairs: &[(Slot, Slot)]) {
     let mut slots: Vec<Slot> = Vec::with_capacity(pairs.len() * 2);
     for &(a, b) in pairs {
@@ -50,4 +52,44 @@ pub fn warm_pair_rows(net: &OverlayNet, pairs: &[(Slot, Slot)]) {
     slots.sort_unstable();
     slots.dedup();
     net.warm_latency_rows(&slots);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prop_engine::SimRng;
+    use prop_netsim::{generate, LatencyOracle, OracleConfig, TransitStubParams};
+    use prop_overlay::{LogicalGraph, Placement};
+    use std::sync::Arc;
+
+    fn cached_net(n: usize) -> OverlayNet {
+        let mut rng = SimRng::seed_from(3);
+        let phys = generate(&TransitStubParams::tiny(), &mut rng);
+        let oracle = Arc::new(LatencyOracle::select_and_build_with(
+            &phys,
+            n,
+            &mut rng,
+            &OracleConfig::cached(1 << 20),
+        ));
+        let mut g = LogicalGraph::new(n);
+        for i in 0..n as u32 {
+            g.add_edge(Slot(i), Slot((i + 1) % n as u32));
+        }
+        OverlayNet::new(g, Placement::identity(n), oracle)
+    }
+
+    #[test]
+    fn repeated_sources_warm_each_row_once() {
+        let net = cached_net(12);
+        let baseline = net.oracle_cache_stats().unwrap();
+        // A hot-source workload: slots 0, 1, 2 named over and over.
+        let pairs: Vec<(Slot, Slot)> = (0..200).map(|i| (Slot(i % 3), Slot((i % 2) + 1))).collect();
+        warm_pair_rows(&net, &pairs);
+        let s = net.oracle_cache_stats().unwrap().since(&baseline);
+        // Unique slots {0, 1, 2}; row 0 was seeded at construction, so
+        // exactly two Dijkstras run no matter how many pairs repeat them.
+        assert_eq!(s.misses, 2, "each unique source warms once: {s:?}");
+        let total = net.oracle_cache_stats().unwrap();
+        assert_eq!(total.resident_rows, 3);
+    }
 }

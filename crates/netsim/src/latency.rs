@@ -1,7 +1,7 @@
 //! The tier-agnostic latency interface and its configuration.
 //!
 //! Every consumer of `d(u, v)` — PROP probes, LTM detection, the metrics —
-//! talks to a [`Latency`] implementation. Two tiers exist (see
+//! talks to a [`Latency`] implementation. Three tiers exist (see
 //! [`crate::LatencyOracle`]):
 //!
 //! * **dense** — the full `n × n` matrix, precomputed once. O(n²) memory,
@@ -11,10 +11,18 @@
 //!   a sharded LRU bounded in bytes. O(capacity) memory regardless of `n`,
 //!   which is what lets a 100,000-member overlay run at all: the dense
 //!   matrix would need 40 GB, the cache runs in a few hundred MB.
+//! * **coord-embed** — a Vivaldi-style height-vector coordinate per member,
+//!   fit once from sampled exact Dijkstra rows; `d(u, v)` is O(1) with no
+//!   graph work at query time and O(n) memory, which is what a
+//!   1,000,000-member overlay needs. Estimates carry a calibrated error
+//!   margin; Var decisions inside the margin escalate to an internal
+//!   row-cache tier (see [`crate::EmbedOracle`] and DESIGN.md §13).
 //!
 //! Callers never pick a tier by hand; [`OracleConfig::dense_threshold`]
-//! routes construction, and the facade's `d()` hides the difference.
+//! and [`OracleConfig::embed_threshold`] route construction, and the
+//! facade's `d()` hides the difference.
 
+use crate::embed::EmbedConfig;
 use crate::graph::PhysNodeId;
 use crate::oracle::MemberIdx;
 use serde::{Deserialize, Serialize};
@@ -57,11 +65,31 @@ pub struct OracleConfig {
     /// Number of independent LRU shards (each with its own lock); must be
     /// ≥ 1. More shards ⇒ less contention under parallel query load.
     pub cache_shards: usize,
+    /// Member counts above this get the coordinate-embedded tier instead of
+    /// the row cache. The default (150,000) keeps every workload the row
+    /// cache has been proven on exact, and routes the million-member scale
+    /// — where per-row Dijkstras are the wall — to the O(1) embedding.
+    #[serde(default = "default_embed_threshold")]
+    pub embed_threshold: usize,
+    /// Fit and fallback-band knobs of the coordinate-embedded tier; unused
+    /// by the other two.
+    #[serde(default)]
+    pub embed: EmbedConfig,
+}
+
+fn default_embed_threshold() -> usize {
+    150_000
 }
 
 impl Default for OracleConfig {
     fn default() -> Self {
-        OracleConfig { dense_threshold: 4096, cache_capacity_bytes: 512 << 20, cache_shards: 16 }
+        OracleConfig {
+            dense_threshold: 4096,
+            cache_capacity_bytes: 512 << 20,
+            cache_shards: 16,
+            embed_threshold: default_embed_threshold(),
+            embed: EmbedConfig::default(),
+        }
     }
 }
 
@@ -77,8 +105,14 @@ impl OracleConfig {
         OracleConfig {
             dense_threshold: 0,
             cache_capacity_bytes: capacity_bytes,
+            embed_threshold: usize::MAX,
             ..Default::default()
         }
+    }
+
+    /// Force the coordinate-embedded tier at any member count.
+    pub fn embedded() -> Self {
+        OracleConfig { dense_threshold: 0, embed_threshold: 0, ..Default::default() }
     }
 }
 
@@ -129,6 +163,21 @@ mod tests {
         let c = OracleConfig::cached(1 << 20);
         assert_eq!(c.dense_threshold, 0);
         assert_eq!(c.cache_capacity_bytes, 1 << 20);
+        assert_eq!(c.embed_threshold, usize::MAX, "cached() must never route to the embedding");
+        let e = OracleConfig::embedded();
+        assert_eq!(e.dense_threshold, 0);
+        assert_eq!(e.embed_threshold, 0);
+    }
+
+    #[test]
+    fn config_deserializes_without_embed_fields() {
+        // Configs serialized before the coord-embed tier existed must keep
+        // loading (and must route exactly as they used to).
+        let legacy = r#"{"dense_threshold":4096,"cache_capacity_bytes":1048576,"cache_shards":4}"#;
+        let c: OracleConfig = serde_json::from_str(legacy).unwrap();
+        assert_eq!(c.dense_threshold, 4096);
+        assert_eq!(c.embed_threshold, 150_000);
+        assert_eq!(c.embed, crate::embed::EmbedConfig::default());
     }
 
     #[test]

@@ -14,11 +14,14 @@
 //! * [`LatencyOracle`] — the `d(u, v)` oracle every protocol and metric
 //!   consults. **Tiered**: member counts up to
 //!   [`OracleConfig::dense_threshold`] precompute the full latency matrix
-//!   in parallel with Rayon (the paper-scale fast path); larger
-//!   populations answer from a byte-bounded sharded LRU of on-demand
-//!   Dijkstra rows, so a 100,000-member overlay runs in a few hundred MB
-//!   instead of the 40 GB a dense matrix would need. See [`latency`] and
-//!   [`rowcache`], and DESIGN.md §9 for the memory model.
+//!   in parallel with Rayon (the paper-scale fast path); populations up to
+//!   [`OracleConfig::embed_threshold`] answer from a byte-bounded sharded
+//!   LRU of on-demand Dijkstra rows, so a 100,000-member overlay runs in a
+//!   few hundred MB instead of the 40 GB a dense matrix would need; and
+//!   larger populations (the million-member scale) answer in O(1) from a
+//!   Vivaldi-style network-coordinate embedding with a calibrated error
+//!   margin and an exact-fallback band. See [`latency`], [`rowcache`] and
+//!   [`embed`], and DESIGN.md §9/§13 for the memory and error models.
 //!
 //! ## Faithfulness notes (see DESIGN.md §3)
 //!
@@ -27,6 +30,7 @@
 //! graph — exactly the quantity a real PROP deployment estimates by probing.
 
 pub mod dijkstra;
+pub mod embed;
 pub mod graph;
 pub mod latency;
 pub mod oracle;
@@ -34,6 +38,7 @@ pub mod rowcache;
 pub mod transit_stub;
 pub mod waxman;
 
+pub use embed::{EmbedCalibration, EmbedConfig, EmbedOracle, EmbedStats};
 pub use graph::{LinkClass, NodeClass, PhysGraph, PhysNodeId};
 pub use latency::{Latency, OracleBuildError, OracleConfig};
 pub use oracle::{CachedOracle, DenseOracle, LatencyOracle};

@@ -13,17 +13,24 @@
 //!   source*, with rows retained in a byte-bounded sharded LRU
 //!   ([`crate::rowcache::RowCache`]). Batch warm-up fans the per-source
 //!   Dijkstras over Rayon.
+//! * [`EmbedOracle`] — for member counts where even a per-source Dijkstra
+//!   is the wall (a million members), a height-vector network coordinate
+//!   per member fit once at build time; `d(u, v)` is O(1) arithmetic with
+//!   a calibrated error margin and an exact-escalation path through an
+//!   internal row-cache tier. See [`crate::embed`].
 //!
-//! Construction routes on [`OracleConfig::dense_threshold`]; callers are
-//! tier-agnostic. Connectivity is validated per row *during* construction
-//! (dense) or from a single source on the undirected graph (cached), and
-//! the `try_build` constructors report the offending member pair instead of
+//! Construction routes on [`OracleConfig::dense_threshold`] and
+//! [`OracleConfig::embed_threshold`]; callers are tier-agnostic.
+//! Connectivity is validated per row *during* construction (dense) or from
+//! a single source on the undirected graph (cached/embedded), and the
+//! `try_build` constructors report the offending member pair instead of
 //! panicking after the full build.
 //!
 //! Members are addressed by dense [`MemberIdx`] values `0..n`; the overlay
 //! crates use the same indexing for peers.
 
 use crate::dijkstra::{shortest_paths, UNREACHABLE};
+use crate::embed::{EmbedCalibration, EmbedOracle, EmbedStats};
 use crate::graph::{PhysGraph, PhysNodeId};
 use crate::latency::{Latency, OracleBuildError, OracleConfig};
 use crate::rowcache::{CacheStats, RowCache};
@@ -36,7 +43,7 @@ pub type MemberIdx = usize;
 
 /// Extract the member-indexed row from a full per-host distance array,
 /// failing on the first unreachable destination.
-fn member_row(
+pub(crate) fn member_row(
     full: &[u32],
     members: &[PhysNodeId],
     src_member: MemberIdx,
@@ -199,6 +206,16 @@ impl CachedOracle {
         });
     }
 
+    /// Seed the cache with an externally computed exact row — e.g. rows the
+    /// embedding fit already paid Dijkstras for. Counted as a miss (the row
+    /// *was* computed) so hit-rate accounting matches `warm_rows`.
+    pub(crate) fn seed_row(&self, src: MemberIdx, row: Arc<[u32]>) {
+        if !self.cache.contains(src) {
+            self.cache.record_miss();
+            self.cache.insert(src, row);
+        }
+    }
+
     /// Cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
@@ -261,13 +278,18 @@ impl Latency for CachedOracle {
 /// The tier-agnostic latency oracle every caller holds.
 ///
 /// Constructors pick the tier from [`OracleConfig::dense_threshold`]
-/// (default 4,096): paper-scale populations get the dense matrix, larger
-/// ones the bounded row cache. All query methods behave identically across
-/// tiers — the equivalence is property-tested byte-for-byte in
-/// `tests/tier_equivalence.rs`.
+/// (default 4,096) and [`OracleConfig::embed_threshold`] (default
+/// 150,000): paper-scale populations get the dense matrix, mid-scale ones
+/// the bounded row cache, and million-member populations the coordinate
+/// embedding. Dense and cached answer identically byte-for-byte
+/// (property-tested in `tests/tier_equivalence.rs`); the embedded tier is
+/// an estimate with a calibrated margin, kept decision-safe by the
+/// exact-fallback band (`tests/embed.rs` and `prop-core`'s
+/// `exchange::decide`).
 pub enum LatencyOracle {
     Dense(DenseOracle),
     Cached(CachedOracle),
+    Embedded(EmbedOracle),
 }
 
 impl LatencyOracle {
@@ -298,8 +320,9 @@ impl LatencyOracle {
     }
 
     /// Fallible build: dense tier when `members.len() <= cfg.dense_threshold`,
-    /// row-cache tier otherwise. Disconnected member sets fail fast with the
-    /// offending pair named.
+    /// row-cache tier up to `cfg.embed_threshold`, coordinate-embedded tier
+    /// above. Disconnected member sets fail fast with the offending pair
+    /// named.
     pub fn try_build_with(
         graph: &PhysGraph,
         members: Vec<PhysNodeId>,
@@ -307,8 +330,10 @@ impl LatencyOracle {
     ) -> Result<Self, OracleBuildError> {
         if members.len() <= cfg.dense_threshold {
             DenseOracle::try_build(graph, members).map(LatencyOracle::Dense)
-        } else {
+        } else if members.len() <= cfg.embed_threshold {
             CachedOracle::try_build(graph, members, cfg).map(LatencyOracle::Cached)
+        } else {
+            EmbedOracle::try_build(graph, members, cfg).map(LatencyOracle::Embedded)
         }
     }
 
@@ -344,6 +369,7 @@ impl LatencyOracle {
         match self {
             LatencyOracle::Dense(o) => o.len(),
             LatencyOracle::Cached(o) => o.len(),
+            LatencyOracle::Embedded(o) => o.len(),
         }
     }
 
@@ -352,12 +378,47 @@ impl LatencyOracle {
         self.len() == 0
     }
 
-    /// End-to-end latency between members `a` and `b`, in ms.
+    /// End-to-end latency between members `a` and `b`, in ms. Exact on the
+    /// dense and row-cache tiers; the calibrated O(1) estimate on the
+    /// embedded tier.
     #[inline]
     pub fn d(&self, a: MemberIdx, b: MemberIdx) -> u32 {
         match self {
             LatencyOracle::Dense(o) => o.d(a, b),
             LatencyOracle::Cached(o) => o.d(a, b),
+            LatencyOracle::Embedded(o) => o.d(a, b),
+        }
+    }
+
+    /// Exact latency regardless of tier — the embedded tier's escalation
+    /// path (through its internal row cache); identical to [`Self::d`] on
+    /// the other two tiers.
+    #[inline]
+    pub fn d_exact(&self, a: MemberIdx, b: MemberIdx) -> u32 {
+        match self {
+            LatencyOracle::Dense(o) => o.d(a, b),
+            LatencyOracle::Cached(o) => o.d(a, b),
+            LatencyOracle::Embedded(o) => o.d_exact(a, b),
+        }
+    }
+
+    /// Absolute error margin (ms) one `d(u, v)` term contributes to a Var
+    /// comparison's exact-fallback band. Zero on the exact tiers — their
+    /// band is empty, so `exchange::decide` never escalates there.
+    #[inline]
+    pub fn var_margin_per_term(&self) -> f64 {
+        match self {
+            LatencyOracle::Embedded(o) => o.margin_per_term(),
+            _ => 0.0,
+        }
+    }
+
+    /// Record one Var decision escalated into the fallback band (no-op on
+    /// the exact tiers).
+    #[inline]
+    pub fn note_escalation(&self) {
+        if let LatencyOracle::Embedded(o) = self {
+            o.note_escalation();
         }
     }
 
@@ -367,6 +428,7 @@ impl LatencyOracle {
         match self {
             LatencyOracle::Dense(o) => o.host(i),
             LatencyOracle::Cached(o) => o.host(i),
+            LatencyOracle::Embedded(o) => o.host(i),
         }
     }
 
@@ -376,17 +438,19 @@ impl LatencyOracle {
         match self {
             LatencyOracle::Dense(o) => o.mean_phys_link_latency(),
             LatencyOracle::Cached(o) => o.mean_phys_link_latency(),
+            LatencyOracle::Embedded(o) => o.mean_phys_link_latency(),
         }
     }
 
     /// Mean latency over all ordered member pairs (the paper's Eq. 3
     /// "average latency" over the member population, with `d(i,i) = 0`).
     /// Exact on the dense tier; a deterministic 64-row sample estimate on
-    /// the row-cache tier.
+    /// the row-cache and embedded tiers.
     pub fn mean_pairwise_latency(&self) -> f64 {
         match self {
             LatencyOracle::Dense(o) => o.mean_pairwise_latency(),
             LatencyOracle::Cached(o) => o.mean_pairwise_latency(),
+            LatencyOracle::Embedded(o) => o.mean_pairwise_latency(),
         }
     }
 
@@ -395,23 +459,48 @@ impl LatencyOracle {
         match self {
             LatencyOracle::Dense(_) => "dense",
             LatencyOracle::Cached(_) => "row-cache",
+            LatencyOracle::Embedded(_) => "coord-embed",
         }
     }
 
     /// Row-cache counters; `None` on the dense tier (which has no cache).
+    /// On the embedded tier these are the internal *exact escalation*
+    /// cache's counters.
     pub fn cache_stats(&self) -> Option<CacheStats> {
         match self {
             LatencyOracle::Dense(_) => None,
             LatencyOracle::Cached(o) => Some(o.cache_stats()),
+            LatencyOracle::Embedded(o) => Some(o.exact().cache_stats()),
+        }
+    }
+
+    /// Embedded-tier query/escalation counters; `None` on the exact tiers.
+    pub fn embed_stats(&self) -> Option<EmbedStats> {
+        match self {
+            LatencyOracle::Embedded(o) => Some(o.stats()),
+            _ => None,
+        }
+    }
+
+    /// The embedded tier's committed error calibration; `None` on the
+    /// exact tiers.
+    pub fn embed_calibration(&self) -> Option<EmbedCalibration> {
+        match self {
+            LatencyOracle::Embedded(o) => Some(o.calibration()),
+            _ => None,
         }
     }
 
     /// Batch warm-up: ensure the rows for `sources` are resident, fanning
     /// the per-source Dijkstras over Rayon. No-op on the dense tier (every
-    /// row is always resident there).
+    /// row is always resident there). On the embedded tier this warms the
+    /// internal exact cache — the rows only escalated decisions will read —
+    /// so callers should restrict it to slots they expect to escalate.
     pub fn warm_rows(&self, sources: &[MemberIdx]) {
-        if let LatencyOracle::Cached(o) = self {
-            o.warm_rows(sources);
+        match self {
+            LatencyOracle::Dense(_) => {}
+            LatencyOracle::Cached(o) => o.warm_rows(sources),
+            LatencyOracle::Embedded(o) => o.warm_exact_rows(sources),
         }
     }
 }
@@ -605,8 +694,12 @@ mod tests {
         // Room for ~2 rows per shard with 1 shard: constant churn.
         let mut rng = SimRng::seed_from(13);
         let g = generate(&TransitStubParams::tiny(), &mut rng);
-        let cfg =
-            OracleConfig { dense_threshold: 0, cache_capacity_bytes: 2 * n * 4, cache_shards: 1 };
+        let cfg = OracleConfig {
+            dense_threshold: 0,
+            cache_capacity_bytes: 2 * n * 4,
+            cache_shards: 1,
+            ..OracleConfig::cached(0)
+        };
         let cached = LatencyOracle::select_and_build_with(&g, n, &mut rng, &cfg);
         let mut rng2 = SimRng::seed_from(13);
         let g2 = generate(&TransitStubParams::tiny(), &mut rng2);
@@ -649,6 +742,36 @@ mod tests {
     fn build_panics_on_disconnection() {
         let (g, members) = disconnected_graph();
         let _ = LatencyOracle::build(&g, members);
+    }
+
+    #[test]
+    fn embedded_config_routes_to_coord_embed() {
+        let mut rng = SimRng::seed_from(20);
+        let g = generate(&TransitStubParams::tiny(), &mut rng);
+        let o = LatencyOracle::select_and_build_with(&g, 16, &mut rng, &OracleConfig::embedded());
+        assert_eq!(o.tier(), "coord-embed");
+        assert!(o.cache_stats().is_some(), "embedded tier exposes its exact cache");
+        assert!(o.embed_stats().is_some());
+        assert!(o.embed_calibration().is_some());
+        assert!(o.var_margin_per_term() >= 1.0);
+        // d_exact must agree with a straight Dijkstra even though d() is
+        // an estimate.
+        let full = shortest_paths(&g, o.host(0));
+        for b in 0..16 {
+            assert_eq!(o.d_exact(0, b), full[o.host(b).index()]);
+        }
+    }
+
+    #[test]
+    fn exact_tiers_have_empty_fallback_band() {
+        let dense = tiny_oracle(10, 21);
+        assert_eq!(dense.var_margin_per_term(), 0.0);
+        assert!(dense.embed_stats().is_none());
+        assert!(dense.embed_calibration().is_none());
+        dense.note_escalation(); // no-op, must not panic
+        let cached = tiny_cached(10, 21, 1 << 20);
+        assert_eq!(cached.var_margin_per_term(), 0.0);
+        assert!(cached.embed_stats().is_none());
     }
 
     #[test]

@@ -108,11 +108,16 @@ impl TransitStubParams {
         let base = Self::ts_large();
         let stub_domains =
             base.transit_domains * base.transit_nodes_per_domain * base.stub_domains_per_transit;
-        TransitStubParams {
-            nodes_per_stub_domain: min_stub_hosts.div_ceil(stub_domains).max(1),
-            extra_stub_edge: 0.002,
-            ..base
-        }
+        let k = min_stub_hosts.div_ceil(stub_domains).max(1);
+        // Taper the extra-edge probability once stub domains grow past
+        // ~2,000 hosts: at fixed p the expected extra edges per domain grow
+        // as p·k²/2, which by a million hosts would dominate the link count.
+        // Capping the expected extra *degree* at 4 keeps total edges — and
+        // therefore Dijkstra cost per latency-oracle row — near-linear at
+        // any scale. Below the cap (every scale up to ~300k hosts) the
+        // historical 0.002 applies unchanged.
+        let extra_stub_edge = if k > 1 { (0.002f64).min(4.0 / (k - 1) as f64) } else { 0.002 };
+        TransitStubParams { nodes_per_stub_domain: k, extra_stub_edge, ..base }
     }
 
     /// Total number of hosts this parameterization produces.
@@ -122,9 +127,39 @@ impl TransitStubParams {
     }
 }
 
+/// Domain size at and above which extra edges are drawn by geometric-skip
+/// (binomial) sampling instead of one Bernoulli trial per pair. Every paper
+/// preset and every `scaled()` parameterization up to ~75k hosts stays below
+/// this, so their RNG streams — and therefore every pinned topology — are
+/// unchanged; only the huge domains that would pay O(k²) trials (3.3 billion
+/// at a million hosts) take the skip path.
+const GEOMETRIC_SKIP_MIN_MEMBERS: usize = 512;
+
+/// The `t`-th pair (row-major upper triangle) of `0..k`: the inverse of
+/// `t = Σ_{r<i}(k−1−r) + (j−i−1)` via binary search on the row prefix sums.
+fn pair_at(k: u64, t: u64) -> (usize, usize) {
+    let pairs_before = |i: u64| i * k - i * (i + 1) / 2;
+    let (mut lo, mut hi) = (0u64, k - 1);
+    while lo < hi {
+        let mid = (lo + hi + 1) / 2;
+        if pairs_before(mid) <= t {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    (lo as usize, (lo + 1 + (t - pairs_before(lo))) as usize)
+}
+
 /// Wire `members` into a random connected subgraph: a uniform random spanning
 /// tree (random-parent construction) plus each non-tree pair with probability
 /// `extra`.
+///
+/// Small member sets draw the extra edges with one Bernoulli trial per pair
+/// (the historical stream); sets of [`GEOMETRIC_SKIP_MIN_MEMBERS`] and above
+/// jump between accepted pairs with geometrically distributed skips, which
+/// is the same marginal distribution in O(extra · k²) expected work instead
+/// of O(k²) RNG calls.
 fn connect_random(
     b: &mut PhysGraphBuilder,
     members: &[PhysNodeId],
@@ -142,11 +177,39 @@ fn connect_random(
         b.add_link(members[i], members[j], latency, class);
     }
     // Extra edges.
-    for i in 0..members.len() {
-        for j in (i + 1)..members.len() {
-            if j != i && rng.chance(extra) && !b.has_link(members[i], members[j]) {
+    if members.len() < GEOMETRIC_SKIP_MIN_MEMBERS {
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                if j != i && rng.chance(extra) && !b.has_link(members[i], members[j]) {
+                    b.add_link(members[i], members[j], latency, class);
+                }
+            }
+        }
+    } else if extra > 0.0 {
+        let k = members.len() as u64;
+        let total = k * (k - 1) / 2;
+        let ln_q = (1.0 - extra.min(1.0)).ln(); // ≤ 0; −inf when extra ≥ 1
+        let mut t: u64 = 0;
+        loop {
+            // Geometric skip: failures before the next accepted pair is
+            // ⌊ln(U)/ln(1−p)⌋ with U uniform on (0, 1]. unit() ∈ [0, 1), so
+            // 1−unit() supplies the (0, 1] draw. f64→u64 casts saturate,
+            // which turns an astronomically large skip into "past the end".
+            let skip = if ln_q == 0.0 {
+                u64::MAX
+            } else {
+                let u: f64 = 1.0 - rng.unit();
+                (u.ln() / ln_q).floor() as u64
+            };
+            t = t.saturating_add(skip);
+            if t >= total {
+                break;
+            }
+            let (i, j) = pair_at(k, t);
+            if !b.has_link(members[i], members[j]) {
                 b.add_link(members[i], members[j], latency, class);
             }
+            t += 1;
         }
     }
 }
@@ -324,6 +387,71 @@ mod tests {
         assert!(g.is_connected());
         // Edge count stays near-linear in hosts (Dijkstra cost per oracle
         // row depends on it).
+        assert!(g.num_links() < 3 * g.num_nodes());
+    }
+
+    #[test]
+    fn pair_at_inverts_the_upper_triangle() {
+        let k = 17u64;
+        let mut t = 0u64;
+        for i in 0..17usize {
+            for j in (i + 1)..17usize {
+                assert_eq!(pair_at(k, t), (i, j), "flat index {t}");
+                t += 1;
+            }
+        }
+        assert_eq!(t, k * (k - 1) / 2);
+    }
+
+    #[test]
+    fn geometric_skip_matches_bernoulli_statistics() {
+        // One domain above the skip threshold: edge count must land near
+        // the binomial expectation, the graph must stay deduplicated and
+        // connected, and the stream must be deterministic.
+        let build = |seed: u64| {
+            let mut b = PhysGraphBuilder::new();
+            let nodes: Vec<PhysNodeId> =
+                (0..600).map(|_| b.add_node(NodeClass::Stub { domain: 0, gateway: 0 })).collect();
+            let mut rng = SimRng::seed_from(seed);
+            connect_random(&mut b, &nodes, 0.01, 5, LinkClass::StubStub, &mut rng);
+            b.build()
+        };
+        let g = build(42);
+        assert!(g.is_connected());
+        // 599 tree edges + Binomial(600·599/2, 0.01): mean ≈ 1797, σ ≈ 42.
+        let extra = g.num_links() - 599;
+        assert!((1000..2600).contains(&extra), "extra edges {extra} far from expectation");
+        let h = build(42);
+        assert_eq!(g.num_links(), h.num_links());
+        for u in g.nodes() {
+            assert_eq!(g.neighbors(u), h.neighbors(u));
+        }
+        let other = build(43);
+        assert!(g.nodes().any(|u| g.neighbors(u) != other.neighbors(u)));
+    }
+
+    #[test]
+    fn scaled_tapers_extra_edges_past_300k_hosts() {
+        // Up to ~300k hosts the historical probability applies unchanged…
+        assert_eq!(TransitStubParams::scaled(100_000).extra_stub_edge, 0.002);
+        // …beyond it the expected extra degree is capped at 4.
+        let p = TransitStubParams::scaled(1_000_000);
+        let k = p.nodes_per_stub_domain;
+        assert!(k >= 6_000);
+        assert!(p.extra_stub_edge < 0.002);
+        let expected_extra_degree = p.extra_stub_edge * (k - 1) as f64;
+        assert!((3.5..=4.0).contains(&expected_extra_degree));
+    }
+
+    #[test]
+    fn scaled_large_domain_generation_is_near_linear() {
+        // 150 stub domains × ~1,334 hosts — every domain takes the
+        // geometric-skip path; links stay near-linear and connected.
+        let p = TransitStubParams::scaled(200_000);
+        assert!(p.nodes_per_stub_domain >= GEOMETRIC_SKIP_MIN_MEMBERS);
+        let g = generate(&p, &mut SimRng::seed_from(17));
+        assert!(g.stub_nodes().len() >= 200_000);
+        assert!(g.is_connected());
         assert!(g.num_links() < 3 * g.num_nodes());
     }
 

@@ -1,0 +1,166 @@
+//! Embedding determinism and metric-structure property tests.
+//!
+//! The coordinate fit is the only floating-point-heavy construction in the
+//! oracle stack, so its contract is pinned from the outside here:
+//!
+//! * **Bit determinism** — the same `(graph, members, config)` produces
+//!   bit-identical coordinates, heights, and calibration on every build,
+//!   including under rayon pools of different worker counts (the member
+//!   fit is embarrassingly parallel by construction).
+//! * **Metric structure** — the rounded `d(u,v)` keeps a zero diagonal,
+//!   symmetry, and the triangle inequality on any topology, because the
+//!   estimate is a norm plus non-negative heights and ceil-rounding
+//!   preserves the inequality.
+//! * **Escalation agreement** — `d_exact` answers match the dense tier
+//!   exactly: the fallback band lands on true distances, not another
+//!   approximation.
+
+use prop_engine::SimRng;
+use prop_netsim::{
+    generate, EmbedConfig, EmbedOracle, LatencyOracle, OracleConfig, PhysGraph, PhysNodeId,
+    TransitStubParams,
+};
+use proptest::test_runner::Config as ProptestConfig;
+use proptest::{prop_assert, prop_assert_eq, proptest};
+
+fn ts_params(domains: usize, transit: usize, stubs: usize, hosts: usize) -> TransitStubParams {
+    TransitStubParams {
+        transit_domains: domains,
+        transit_nodes_per_domain: transit,
+        stub_domains_per_transit: stubs,
+        nodes_per_stub_domain: hosts,
+        extra_domain_edge: 0.25,
+        extra_transit_edge: 0.25,
+        extra_stub_edge: 0.06,
+        transit_transit_ms: 100,
+        stub_transit_ms: 20,
+        stub_stub_ms: 5,
+    }
+}
+
+fn pick_members(g: &PhysGraph, want: usize, rng: &mut SimRng) -> Vec<PhysNodeId> {
+    let stubs = g.stub_nodes();
+    rng.sample_distinct(&stubs, want.clamp(2, stubs.len()))
+}
+
+fn small_embed_cfg(seed: u64) -> OracleConfig {
+    OracleConfig {
+        embed: EmbedConfig {
+            landmarks: 12,
+            landmark_rounds: 48,
+            member_rounds: 12,
+            calibration_sources: 6,
+            calibration_targets: 32,
+            seed,
+            ..EmbedConfig::default()
+        },
+        ..OracleConfig::embedded()
+    }
+}
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Two independent builds over the same inputs are bit-identical —
+    /// coordinates, heights, landmarks, calibration, and margin.
+    #[test]
+    fn same_inputs_same_bits(
+        domains in 1usize..3,
+        transit in 1usize..4,
+        stubs in 1usize..3,
+        hosts in 3usize..8,
+        members in 4usize..24,
+        topo_seed in 0u64..10_000,
+        fit_seed in 0u64..10_000,
+    ) {
+        let p = ts_params(domains, transit, stubs, hosts);
+        let mut rng = SimRng::seed_from(topo_seed);
+        let g = generate(&p, &mut rng);
+        let m = pick_members(&g, members, &mut rng);
+        let cfg = small_embed_cfg(fit_seed);
+        let a = EmbedOracle::try_build(&g, m.clone(), &cfg).expect("connected");
+        let b = EmbedOracle::try_build(&g, m, &cfg).expect("connected");
+        prop_assert_eq!(bits(a.coords()), bits(b.coords()));
+        prop_assert_eq!(bits(a.heights()), bits(b.heights()));
+        prop_assert_eq!(a.landmark_members(), b.landmark_members());
+        prop_assert_eq!(a.calibration(), b.calibration());
+        prop_assert_eq!(a.margin_per_term().to_bits(), b.margin_per_term().to_bits());
+    }
+
+    /// The rounded estimate is a metric: zero diagonal, symmetric, and
+    /// triangle inequality over every sampled triple.
+    #[test]
+    fn rounded_estimate_is_a_metric(
+        hosts in 3usize..8,
+        members in 4usize..20,
+        seed in 0u64..10_000,
+    ) {
+        let p = ts_params(2, 2, 2, hosts);
+        let mut rng = SimRng::seed_from(seed);
+        let g = generate(&p, &mut rng);
+        let m = pick_members(&g, members, &mut rng);
+        let n = m.len();
+        let o = EmbedOracle::try_build(&g, m, &small_embed_cfg(seed)).expect("connected");
+        for a in 0..n {
+            prop_assert_eq!(o.d(a, a), 0);
+            for b in 0..n {
+                prop_assert_eq!(o.d(a, b), o.d(b, a), "symmetry ({}, {})", a, b);
+                for c in 0..n {
+                    prop_assert!(
+                        o.d(a, c) <= o.d(a, b).saturating_add(o.d(b, c)),
+                        "triangle ({}, {}, {})", a, b, c
+                    );
+                }
+            }
+        }
+    }
+
+    /// The escalation path answers with true distances: every `d_exact`
+    /// equals the dense tier's answer over the same members.
+    #[test]
+    fn exact_fallback_matches_dense(
+        hosts in 3usize..8,
+        members in 4usize..16,
+        seed in 0u64..10_000,
+    ) {
+        let p = ts_params(2, 2, 2, hosts);
+        let mut rng = SimRng::seed_from(seed);
+        let g = generate(&p, &mut rng);
+        let m = pick_members(&g, members, &mut rng);
+        let n = m.len();
+        let dense = LatencyOracle::try_build_with(&g, m.clone(), &OracleConfig::dense())
+            .expect("connected");
+        let emb = EmbedOracle::try_build(&g, m, &small_embed_cfg(seed)).expect("connected");
+        for a in 0..n {
+            for b in 0..n {
+                prop_assert_eq!(emb.d_exact(a, b), dense.d(a, b), "pair ({}, {})", a, b);
+            }
+        }
+    }
+}
+
+/// The fit must not depend on the rayon pool executing it: a worker-count
+/// change reorders the parallel member fits, and every per-member fit is
+/// independent, so the bits cannot move.
+#[test]
+fn coordinates_survive_any_worker_count() {
+    let p = ts_params(2, 3, 2, 8);
+    let mut rng = SimRng::seed_from(4242);
+    let g = generate(&p, &mut rng);
+    let members = pick_members(&g, 48, &mut rng);
+    let cfg = small_embed_cfg(7);
+
+    let reference = EmbedOracle::try_build(&g, members.clone(), &cfg).expect("connected");
+    for workers in [1usize, 2, 7] {
+        let pool =
+            rayon::ThreadPoolBuilder::new().num_threads(workers).build().expect("rayon pool");
+        let o = pool.install(|| EmbedOracle::try_build(&g, members.clone(), &cfg)).expect("build");
+        assert_eq!(bits(o.coords()), bits(reference.coords()), "{workers} workers");
+        assert_eq!(bits(o.heights()), bits(reference.heights()), "{workers} workers");
+        assert_eq!(o.calibration(), reference.calibration(), "{workers} workers");
+    }
+}

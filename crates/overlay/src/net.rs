@@ -303,12 +303,16 @@ impl OverlayNet {
     }
 
     /// Batch-warm the oracle rows for the peers occupying `slots` (no-op on
-    /// the dense tier, Rayon-parallel Dijkstras on the row-cache tier).
+    /// the dense tier, Rayon-parallel Dijkstras on the row-cache tier, and
+    /// exact-escalation-cache warm-up on the coordinate-embedded tier).
     /// Call before a burst of latency queries over a known slot set — e.g.
     /// a measurement sweep at 100k members — to turn the misses into
-    /// parallel work instead of serial on-demand stalls.
+    /// parallel work instead of serial on-demand stalls. Duplicate slots
+    /// (several pairs sharing a source) are warmed once.
     pub fn warm_latency_rows(&self, slots: &[Slot]) {
-        let peers: Vec<MemberIdx> = slots.iter().map(|&s| self.placement.peer(s)).collect();
+        let mut peers: Vec<MemberIdx> = slots.iter().map(|&s| self.placement.peer(s)).collect();
+        peers.sort_unstable();
+        peers.dedup();
         self.oracle.warm_rows(&peers);
     }
 
@@ -328,6 +332,16 @@ impl OverlayNet {
     #[inline]
     pub fn d(&self, a: Slot, b: Slot) -> u32 {
         self.oracle.d(self.placement.peer(a), self.placement.peer(b))
+    }
+
+    /// *Exact* physical latency between the peers at two slots — identical
+    /// to [`Self::d`] on the exact oracle tiers; on the coordinate-embedded
+    /// tier it escalates through the internal row cache. The Var fallback
+    /// band (`prop-core`'s `exchange::decide`) re-evaluates borderline
+    /// plans with this.
+    #[inline]
+    pub fn d_exact(&self, a: Slot, b: Slot) -> u32 {
+        self.oracle.d_exact(self.placement.peer(a), self.placement.peer(b))
     }
 
     /// Processing delay (ms) of the peer at `s`; zero when heterogeneity is
