@@ -3,13 +3,22 @@
 //! ```text
 //! cargo run --release -p prop-experiments --bin ablation \
 //!     [overhead|churn|combine|selfish|selection|warmup|waxman|custody|threshold|ltmcap|zipf|floodcost] [--quick] [--seed N]
+//!     [--seeds N [--resume]]
 //! ```
 
 use prop_experiments::ablation;
 use prop_experiments::report::{print_series_table, write_json, Cli};
+use prop_experiments::sweep::{SweepConfig, SweepExperiment};
+use std::path::Path;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let cli = Cli::parse();
+    if let Some(seeds) = cli.seeds {
+        // The sweep unit is the A1 overhead ablation (msgs/trial ± CI).
+        let cfg = SweepConfig::new(SweepExperiment::Ablation, cli.scale, cli.seed, seeds);
+        return prop_experiments::sweep::run_cli(&cfg, Path::new("results"), cli.resume, &[]);
+    }
     let run_all = cli.panel.is_none();
     let want = |p: &str| run_all || cli.panel.as_deref() == Some(p);
 
@@ -189,4 +198,5 @@ fn main() {
         }
         write_json("ablation_selfish", &rows);
     }
+    ExitCode::SUCCESS
 }

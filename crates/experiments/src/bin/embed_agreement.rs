@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run --release -p prop-experiments --bin embed_agreement
 //!     [--quick] [--seed N] [--n MEMBERS] [--samples N] [--floor RATE]
+//!     [--seeds N [--resume]]
 //! ```
 //!
 //! Samples candidate PROP-G/PROP-O exchanges on a Gnutella overlay built
@@ -15,6 +16,9 @@
 
 use prop_experiments::embed_agreement::run;
 use prop_experiments::report::write_json;
+use prop_experiments::sweep::{SweepConfig, SweepExperiment};
+use prop_experiments::Scale;
+use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -22,12 +26,16 @@ fn main() -> ExitCode {
     let mut samples = 2_000usize;
     let mut seed = 1u64;
     let mut floor = 0.99f64;
+    let mut scale = Scale::Paper;
+    let mut seeds: Option<usize> = None;
+    let mut resume = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => {
                 n = 20_000;
                 samples = 1_000;
+                scale = Scale::Quick;
             }
             "--seed" => {
                 seed = args.next().and_then(|s| s.parse().ok()).expect("--seed needs an integer");
@@ -42,8 +50,20 @@ fn main() -> ExitCode {
             "--floor" => {
                 floor = args.next().and_then(|s| s.parse().ok()).expect("--floor needs a rate");
             }
+            "--seeds" => {
+                seeds = Some(
+                    args.next().and_then(|s| s.parse().ok()).expect("--seeds needs a seed count"),
+                );
+            }
+            "--resume" => resume = true,
             other => panic!("unknown flag {other}"),
         }
+    }
+    if let Some(seeds) = seeds {
+        // Sweep mode uses smaller scale-derived member counts (the sweep
+        // runs N full oracle builds) — agreement_rate ± CI per seed.
+        let cfg = SweepConfig::new(SweepExperiment::EmbedAgreement, scale, seed, seeds);
+        return prop_experiments::sweep::run_cli(&cfg, Path::new("results"), resume, &[]);
     }
 
     let report = run(n, samples, seed);

@@ -2,14 +2,23 @@
 //!
 //! ```text
 //! cargo run --release -p prop-experiments --bin faults \
-//!     [sweep|recovery] [--quick] [--seed N]
+//!     [sweep|recovery] [--quick] [--seed N] [--seeds N [--resume]]
 //! ```
 
 use prop_experiments::faults;
 use prop_experiments::report::{print_fault_table, print_series_table, write_json, Cli};
+use prop_experiments::sweep::{SweepConfig, SweepExperiment};
+use std::path::Path;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let cli = Cli::parse();
+    if let Some(seeds) = cli.seeds {
+        // The sweep unit is the loss × partition grid (improvement% ± CI
+        // per cell).
+        let cfg = SweepConfig::new(SweepExperiment::Faults, cli.scale, cli.seed, seeds);
+        return prop_experiments::sweep::run_cli(&cfg, Path::new("results"), cli.resume, &[]);
+    }
     let run_all = cli.panel.is_none();
     let want = |p: &str| run_all || cli.panel.as_deref() == Some(p);
 
@@ -30,4 +39,5 @@ fn main() {
         println!("{}", r.faults);
         write_json("faults_recovery", &r);
     }
+    ExitCode::SUCCESS
 }

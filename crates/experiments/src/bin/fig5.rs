@@ -2,14 +2,20 @@
 //!
 //! ```text
 //! cargo run --release -p prop-experiments --bin fig5 [a|b|c] [--quick] [--seed N]
+//!     [--seeds N [--resume]]
 //! ```
 //!
 //! With no panel argument, runs all three. Prints each panel's average
 //! lookup latency series (ms vs simulated minutes) and writes
-//! `results/fig5<panel>.json`.
+//! `results/fig5<panel>.json`. With `--seeds N` the run becomes a
+//! seed-sharded Monte-Carlo sweep of the representative latency curve
+//! (mean ± 95% CI; see [`prop_experiments::sweep`]).
 
 use prop_experiments::fig5::{panel_a, panel_b, panel_c, Curve};
 use prop_experiments::report::{print_series_table, write_json, Cli};
+use prop_experiments::sweep::{SweepConfig, SweepExperiment};
+use std::path::Path;
+use std::process::ExitCode;
 
 fn show(panel: &str, title: &str, curves: &[Curve]) {
     let series: Vec<_> = curves.iter().map(|c| &c.series).collect();
@@ -32,8 +38,12 @@ fn show(panel: &str, title: &str, curves: &[Curve]) {
     write_json(&format!("fig5{panel}"), &curves.to_vec());
 }
 
-fn main() {
+fn main() -> ExitCode {
     let cli = Cli::parse();
+    if let Some(seeds) = cli.seeds {
+        let cfg = SweepConfig::new(SweepExperiment::Fig5, cli.scale, cli.seed, seeds);
+        return prop_experiments::sweep::run_cli(&cfg, Path::new("results"), cli.resume, &[]);
+    }
     let run_all = cli.panel.is_none();
     let want = |p: &str| run_all || cli.panel.as_deref() == Some(p);
 
@@ -58,4 +68,5 @@ fn main() {
             &panel_c(cli.scale, cli.seed),
         );
     }
+    ExitCode::SUCCESS
 }

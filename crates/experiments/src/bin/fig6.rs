@@ -2,16 +2,22 @@
 //!
 //! ```text
 //! cargo run --release -p prop-experiments --bin fig6 [a|b|c] [--quick] [--seed N]
+//!     [--seeds N [--resume]]
 //! ```
 //!
 //! Prints each panel's stretch series (vs simulated minutes) and writes
-//! `results/fig6<panel>.json`.
+//! `results/fig6<panel>.json`. With `--seeds N` the run becomes a
+//! seed-sharded Monte-Carlo sweep of the representative stretch curve
+//! (mean ± 95% CI on stretch and protocol overhead; see
+//! [`prop_experiments::sweep`]).
 
-use prop_experiments::fig5::Curve;
-use prop_experiments::fig6::{panel_a, panel_b, panel_c};
+use prop_experiments::fig6::{panel_a, panel_b, panel_c, StretchCurve};
 use prop_experiments::report::{print_series_table, write_json, Cli};
+use prop_experiments::sweep::{SweepConfig, SweepExperiment};
+use std::path::Path;
+use std::process::ExitCode;
 
-fn show(panel: &str, title: &str, curves: &[Curve]) {
+fn show(panel: &str, title: &str, curves: &[StretchCurve]) {
     let series: Vec<_> = curves.iter().map(|c| &c.series).collect();
     print_series_table(title, &series);
     println!("\n{}", prop_experiments::plot::ascii_chart(&series, 72, 14));
@@ -32,8 +38,12 @@ fn show(panel: &str, title: &str, curves: &[Curve]) {
     write_json(&format!("fig6{panel}"), &curves.to_vec());
 }
 
-fn main() {
+fn main() -> ExitCode {
     let cli = Cli::parse();
+    if let Some(seeds) = cli.seeds {
+        let cfg = SweepConfig::new(SweepExperiment::Fig6, cli.scale, cli.seed, seeds);
+        return prop_experiments::sweep::run_cli(&cfg, Path::new("results"), cli.resume, &[]);
+    }
     let run_all = cli.panel.is_none();
     let want = |p: &str| run_all || cli.panel.as_deref() == Some(p);
 
@@ -50,4 +60,5 @@ fn main() {
             &panel_c(cli.scale, cli.seed),
         );
     }
+    ExitCode::SUCCESS
 }

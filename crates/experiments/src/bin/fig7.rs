@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! cargo run --release -p prop-experiments --bin fig7 [--quick] [--seed N]
+//!     [--seeds N [--resume]]
 //! ```
 //!
 //! Prints the normalized average lookup delay of each scheme as the
@@ -11,9 +12,16 @@
 
 use prop_experiments::fig7::run;
 use prop_experiments::report::{write_json, Cli};
+use prop_experiments::sweep::{SweepConfig, SweepExperiment};
+use std::path::Path;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let cli = Cli::parse();
+    if let Some(seeds) = cli.seeds {
+        let cfg = SweepConfig::new(SweepExperiment::Fig7, cli.scale, cli.seed, seeds);
+        return prop_experiments::sweep::run_cli(&cfg, Path::new("results"), cli.resume, &[]);
+    }
     let curves = run(cli.scale, cli.seed);
 
     println!("\n=== Fig 7 — normalized avg lookup delay vs fraction of fast-node lookups ===");
@@ -51,4 +59,5 @@ fn main() {
     );
 
     write_json("fig7", &curves);
+    ExitCode::SUCCESS
 }

@@ -92,6 +92,18 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
         };
+        // An unarmed gate must say so loudly: without this line, a
+        // placeholder baseline's empty failure list reads like a pass in
+        // CI logs.
+        let status = baseline.get("status").and_then(|s| s.as_str()).unwrap_or("missing");
+        if status != "generated" {
+            println!(
+                "RECORD-ONLY (placeholder baseline): {path} has status \"{status}\"; the \
+                 regression gate is disarmed — regenerate BENCH_PERF.json on the reference \
+                 machine to arm it"
+            );
+            return ExitCode::SUCCESS;
+        }
         let failures = check_against_baseline(&report, &baseline);
         if !failures.is_empty() {
             for f in &failures {

@@ -15,7 +15,7 @@
 
 use crate::setup::{Scale, Scenario, Topology};
 use prop_core::{ProbeMode, PropConfig, ProtocolSim};
-use prop_metrics::{par_avg_lookup_latency, TimeSeries};
+use prop_metrics::{par_avg_lookup_latency, MetricSummary, TimeSeries};
 use prop_workloads::LookupGen;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -26,6 +26,25 @@ pub struct Curve {
     pub series: TimeSeries,
     /// Relative improvement start → end (0.25 = 25% lower).
     pub improvement: f64,
+    /// Cross-seed dispersion, present only on swept (multi-seed) output:
+    /// single-seed runs keep the historical JSON shape unchanged.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub ci: Option<CurveCi>,
+}
+
+/// Error-bar block attached to a mean curve by the sweep orchestrator
+/// (see [`crate::sweep`]): the headline metrics as [`MetricSummary`]s plus
+/// a per-sample 95% half-width band aligned with `series.points`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CurveCi {
+    /// Seeds aggregated into the mean curve.
+    pub seeds: usize,
+    /// Final-sample value across seeds.
+    pub final_value: MetricSummary,
+    /// Start → end relative improvement across seeds.
+    pub improvement: MetricSummary,
+    /// 95% CI half-width at each series sample (`None` where undefined).
+    pub point_ci95: Vec<Option<f64>>,
 }
 
 /// Run PROP-G on this scenario's Gnutella overlay and sample mean lookup
@@ -49,7 +68,7 @@ pub fn run_curve(scenario: &Scenario, cfg: PropConfig, scale: Scale, label: Stri
         series.push(sim.now(), par_avg_lookup_latency(sim.net(), &gn, &pairs).mean_ms);
     }
     let improvement = series.improvement().unwrap_or(0.0);
-    Curve { series, improvement }
+    Curve { series, improvement, ci: None }
 }
 
 /// Panel (a): vary the probe TTL at fixed n.

@@ -39,6 +39,20 @@ pub fn run_curve(
     scale: Scale,
     label: String,
 ) -> StretchCurve {
+    run_curve_traced(scenario, cfg, scale, label).0
+}
+
+/// [`run_curve`] that also returns the driver's protocol [`Overhead`]
+/// counters, so the sweep orchestrator can put error bars on message cost
+/// per trial next to the stretch numbers.
+///
+/// [`Overhead`]: prop_core::Overhead
+pub fn run_curve_traced(
+    scenario: &Scenario,
+    cfg: PropConfig,
+    scale: Scale,
+    label: String,
+) -> (StretchCurve, prop_core::Overhead) {
     let (chord, net) = scenario.chord();
     let mut sim_rng = scenario.rng(&format!("fig6-sim-{label}"));
     let mut sim = ProtocolSim::new(net, cfg, &mut sim_rng);
@@ -59,13 +73,14 @@ pub fn run_curve(
         series.push(sim.now(), summary.mean);
     }
     let improvement = series.improvement().unwrap_or(0.0);
-    StretchCurve {
+    let curve = StretchCurve {
         series,
         improvement,
         delivered: summary.delivered,
         failed: summary.failed,
         skipped: summary.skipped,
-    }
+    };
+    (curve, sim.overhead())
 }
 
 /// Panel (a): vary the probe TTL at fixed n.

@@ -15,6 +15,12 @@
 //! parameterization (n = 1000 over the ≈3,000-host `ts-large` topology,
 //! two simulated hours), `Quick` shrinks everything for smoke tests and
 //! Criterion benches.
+//!
+//! Any of these can also run as a seed-sharded Monte-Carlo sweep
+//! ([`sweep`], or `--seeds N [--resume]` on the figure binaries): N
+//! derived seeds fan across the rayon pool, each seed streams its record
+//! to `results/<sweep>/seed-<k>.json`, and the aggregate reports every
+//! headline metric as mean ± 95% CI.
 
 pub mod ablation;
 pub mod embed_agreement;
@@ -27,6 +33,7 @@ pub mod perf;
 pub mod plot;
 pub mod report;
 pub mod setup;
+pub mod sweep;
 
 pub use setup::{OracleTier, Scale, Scenario, Topology};
 

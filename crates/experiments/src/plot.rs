@@ -89,6 +89,30 @@ pub fn ascii_chart(series: &[&TimeSeries], width: usize, height: usize) -> Strin
     out
 }
 
+/// Render a swept mean curve with its 95% confidence band: the mean series
+/// plus derived `+CI` / `−CI` series (only where a half-width exists, i.e.
+/// ≥ 2 seeds), through the same fixed-size chart renderer. `ci` aligns
+/// with `mean.points`; extra or missing entries are ignored.
+pub fn ascii_band_chart(
+    mean: &TimeSeries,
+    ci: &[Option<f64>],
+    width: usize,
+    height: usize,
+) -> String {
+    let mut upper = TimeSeries::new("mean + 95% CI");
+    let mut lower = TimeSeries::new("mean − 95% CI");
+    for (i, &(t, v)) in mean.points.iter().enumerate() {
+        if let Some(Some(w)) = ci.get(i) {
+            upper.points.push((t, v + w));
+            lower.points.push((t, v - w));
+        }
+    }
+    if upper.is_empty() {
+        return ascii_chart(&[mean], width, height);
+    }
+    ascii_chart(&[mean, &upper, &lower], width, height)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,6 +154,27 @@ mod tests {
         assert_eq!(ascii_chart(&[], 30, 8), "(no data)\n");
         let empty = TimeSeries::new("e");
         assert_eq!(ascii_chart(&[&empty], 30, 8), "(no data)\n");
+    }
+
+    #[test]
+    fn band_chart_renders_three_series_when_ci_exists() {
+        let mean = mk("mean", &[10.0, 8.0, 6.0]);
+        let ci = vec![Some(1.0), Some(0.5), Some(0.25)];
+        let chart = ascii_band_chart(&mean, &ci, 40, 10);
+        assert!(chart.contains("o = mean"));
+        assert!(chart.contains("+ = mean + 95% CI"));
+        assert!(chart.contains("x = mean − 95% CI"));
+    }
+
+    #[test]
+    fn band_chart_degrades_to_plain_when_ci_is_null() {
+        let mean = mk("mean", &[10.0, 8.0, 6.0]);
+        let chart = ascii_band_chart(&mean, &[None, None, None], 40, 10);
+        assert!(chart.contains("o = mean"));
+        assert!(!chart.contains("95% CI"));
+        // Short or empty ci slices are also fine.
+        let chart = ascii_band_chart(&mean, &[], 40, 10);
+        assert!(chart.contains("o = mean"));
     }
 
     #[test]

@@ -4,8 +4,9 @@
 //! rows the paper plots) and drops a JSON copy under `results/` so
 //! EXPERIMENTS.md numbers can be traced to a file.
 
-use prop_metrics::TimeSeries;
+use prop_metrics::{MetricSummary, TimeSeries};
 use serde::Serialize;
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::PathBuf;
 
@@ -85,6 +86,29 @@ pub fn print_fault_table(title: &str, rows: &[crate::faults::FaultSweepRow]) {
     }
 }
 
+/// Print a sweep aggregate's metric summaries: one row per headline
+/// metric with mean, sample stddev, and the 95% CI half-width (`n/a` on
+/// single-seed sweeps, where the CI is null by design).
+pub fn print_ci_table(title: &str, metrics: &BTreeMap<String, MetricSummary>) {
+    println!("\n=== {title} ===");
+    if metrics.is_empty() {
+        println!("(no data)");
+        return;
+    }
+    println!("{:<44} {:>4} {:>12} {:>12} {:>12}", "metric", "n", "mean", "stddev", "95% CI ±");
+    for (name, s) in metrics {
+        let ci = s.ci95.map_or("n/a".to_string(), |w| format!("{w:.4}"));
+        println!(
+            "{:<44} {:>4} {:>12.4} {:>12.4} {:>12}",
+            truncate(name, 44),
+            s.n,
+            s.mean,
+            s.stddev,
+            ci
+        );
+    }
+}
+
 fn truncate(s: &str, n: usize) -> String {
     if s.len() <= n {
         s.to_string()
@@ -115,11 +139,19 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
 }
 
 /// Shared CLI convention for the experiment binaries:
-/// `<bin> [panel] [--quick] [--seed N]`.
+/// `<bin> [panel] [--quick] [--seed N] [--seeds N] [--resume]`.
+///
+/// `--seeds N` turns the invocation into a seed-sharded Monte-Carlo sweep
+/// (see [`crate::sweep`]); `--resume` continues an interrupted sweep of
+/// the same configuration.
 pub struct Cli {
     pub panel: Option<String>,
     pub scale: crate::Scale,
     pub seed: u64,
+    /// `--seeds N`: run the sweep orchestrator instead of a single seed.
+    pub seeds: Option<usize>,
+    /// `--resume`: continue an interrupted sweep (only with `--seeds`).
+    pub resume: bool,
 }
 
 impl Cli {
@@ -127,6 +159,8 @@ impl Cli {
         let mut panel = None;
         let mut scale = crate::Scale::Paper;
         let mut seed = 1u64;
+        let mut seeds = None;
+        let mut resume = false;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -135,11 +169,22 @@ impl Cli {
                     seed =
                         args.next().and_then(|s| s.parse().ok()).expect("--seed needs an integer");
                 }
+                "--seeds" => {
+                    seeds = Some(
+                        args.next()
+                            .and_then(|s| s.parse().ok())
+                            .expect("--seeds needs a seed count"),
+                    );
+                }
+                "--resume" => resume = true,
                 other if !other.starts_with('-') => panel = Some(other.to_string()),
                 other => panic!("unknown flag {other}"),
             }
         }
-        Cli { panel, scale, seed }
+        if resume && seeds.is_none() {
+            panic!("--resume only makes sense with --seeds N");
+        }
+        Cli { panel, scale, seed, seeds, resume }
     }
 }
 

@@ -16,10 +16,13 @@
 //! * [`faultstats`] — fault-plane counters (drops, dups, reorders,
 //!   partition time, crashed-commit aborts) with derived rates, for the
 //!   robustness sweeps.
+//! * [`ci`] — cross-seed mean / sample-stddev / 95%-CI summaries (Student
+//!   t for small seed counts) backing the Monte-Carlo sweep orchestrator.
 //! * [`plane`] — the parallel measurement plane's determinism machinery:
 //!   the fixed chunk size and the oracle-row prefetch that make the
 //!   `par_*` measurement variants bit-identical to their serial twins.
 
+pub mod ci;
 pub mod convergence;
 pub mod degree;
 pub mod faultstats;
@@ -31,6 +34,7 @@ pub mod plane;
 pub mod stretch;
 pub mod timeseries;
 
+pub use ci::{t_critical_95, MetricSummary};
 pub use convergence::{convergence, Convergence};
 pub use faultstats::FaultReport;
 pub use floodcost::{flood_messages, mean_flood_messages, par_mean_flood_messages};
