@@ -61,6 +61,10 @@ impl SelfishSim {
         &self.net
     }
 
+    pub fn net_mut(&mut self) -> &mut OverlayNet {
+        &mut self.net
+    }
+
     /// Consume the simulation, keeping the rewired overlay.
     pub fn into_net(self) -> OverlayNet {
         self.net
@@ -70,8 +74,24 @@ impl SelfishSim {
         self.events.now()
     }
 
+    /// A freshly joined slot starts stepping one interval from now. Its
+    /// tick is scheduled deterministically (no random offset): joins under
+    /// a scripted traffic plane must not disturb the event order of
+    /// already-scheduled peers.
+    pub fn handle_join(&mut self, slot: Slot) {
+        self.events.schedule_in(self.cfg.interval, Ev::Step(slot));
+    }
+
+    /// Departures need no queue surgery: a dead slot's pending tick is
+    /// retired by the `is_alive` check when it fires.
+    pub fn handle_leave(&mut self, _slot: Slot, _affected: &[Slot]) {}
+
     pub fn run_for(&mut self, window: Duration) {
         let deadline = self.now() + window;
+        self.run_until(deadline);
+    }
+
+    pub fn run_until(&mut self, deadline: SimTime) {
         while let Some((_, ev)) = self.events.pop_until(deadline) {
             match ev {
                 Ev::Step(slot) => {

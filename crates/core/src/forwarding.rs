@@ -142,8 +142,26 @@ mod tests {
     use prop_engine::{Duration, SimRng};
     use prop_netsim::{generate, LatencyOracle, TransitStubParams};
     use prop_overlay::chord::{Chord, ChordParams};
-    use prop_workloads::LookupGen;
     use std::sync::Arc;
+
+    /// `prop_workloads::LookupGen::uniform_pairs`, inlined to keep this
+    /// crate's tests free of a dev-dependency cycle (workloads depends on
+    /// prop-core for the traffic-plane contract). Same fork label and draw
+    /// order, so the workload is unchanged.
+    fn uniform_pairs(rng: &SimRng, live: &[Slot], count: usize) -> Vec<(Slot, Slot)> {
+        let mut rng = rng.fork("lookup-gen");
+        (0..count)
+            .map(|_| {
+                let src = *rng.pick(live).unwrap();
+                loop {
+                    let dst = *rng.pick(live).unwrap();
+                    if dst != src {
+                        return (src, dst);
+                    }
+                }
+            })
+            .collect()
+    }
 
     fn chord_setup(n: usize, seed: u64) -> (Chord, prop_overlay::OverlayNet, SimRng) {
         let mut rng = SimRng::seed_from(seed);
@@ -248,7 +266,7 @@ mod tests {
         let (ch, net, rng) = chord_setup(120, 5);
         let mut store = ObjectStore::snapshot(&net);
         let live: Vec<Slot> = net.graph().live_slots().collect();
-        let pairs = LookupGen::new(&rng).uniform_pairs(&live, 1200);
+        let pairs = uniform_pairs(&rng, &live, 1200);
 
         let mean = |store: &ObjectStore, net: &prop_overlay::OverlayNet| -> f64 {
             let total: u64 = pairs

@@ -29,6 +29,10 @@
 //! * [`fault`] — the fault-plane contract both drivers consult per message
 //!   (drop/duplicate/delay verdicts, crash visibility, fault counters);
 //!   the concrete injectors and scripted scenarios live in `prop-faults`.
+//! * [`traffic`] — the traffic-plane contract: scripted time-varying
+//!   workload (joins/leaves/lookups) consumed by both drivers through the
+//!   [`traffic::ChurnDriver`] surface; the script compiler lives in
+//!   `prop-workloads`.
 
 pub mod analysis;
 pub mod config;
@@ -39,9 +43,11 @@ pub mod neighborq;
 pub mod protocol;
 pub mod sim;
 pub mod sim_async;
+pub mod traffic;
 
 pub use config::{Policy, ProbeMode, PropConfig};
 pub use exchange::{decide, exact_var, plan_exchange, var_terms, ExchangePlan};
 pub use fault::{Delivery, FaultCounters, FaultPlane, MsgKind};
 pub use sim::{Overhead, ProtocolSim, DEFAULT_TRIAL_BATCH};
 pub use sim_async::{AsyncProtocolSim, AsyncStats};
+pub use traffic::{ChurnDriver, TrafficCounters, TrafficEvent, TrafficPlane};

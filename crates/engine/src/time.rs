@@ -45,6 +45,25 @@ impl SimTime {
     pub fn since(self, earlier: SimTime) -> Duration {
         Duration(self.0.saturating_sub(earlier.0))
     }
+
+    /// Index of the `width`-wide time bucket containing this instant.
+    /// Buckets tile the clock as half-open intervals
+    /// `[k·width, (k+1)·width)`; generators that derive one RNG stream per
+    /// bucket (`SimRng::fork_indexed`) use this so event generation is a
+    /// pure function of the bucket, independent of worker count or
+    /// generation order.
+    #[inline]
+    pub fn bucket(self, width: Duration) -> u64 {
+        debug_assert!(width.0 > 0, "bucket width must be positive");
+        self.0 / width.0.max(1)
+    }
+
+    /// Start of bucket `index` under `width`-wide tiling (inverse of
+    /// [`SimTime::bucket`] at bucket boundaries).
+    #[inline]
+    pub fn bucket_start(index: u64, width: Duration) -> SimTime {
+        SimTime(index.saturating_mul(width.0))
+    }
 }
 
 impl Duration {
@@ -191,6 +210,16 @@ mod tests {
     fn ordering_is_numeric() {
         assert!(SimTime(5) < SimTime(6));
         assert!(Duration(100) > Duration(99));
+    }
+
+    #[test]
+    fn buckets_tile_the_clock_half_open() {
+        let w = Duration::from_minutes(5);
+        assert_eq!(SimTime::ZERO.bucket(w), 0);
+        assert_eq!(SimTime(w.0 - 1).bucket(w), 0);
+        assert_eq!(SimTime(w.0).bucket(w), 1);
+        assert_eq!(SimTime::bucket_start(3, w), SimTime(3 * w.0));
+        assert_eq!(SimTime::bucket_start(3, w).bucket(w), 3);
     }
 
     #[test]

@@ -3,16 +3,34 @@
 //! ```text
 //! cargo run --release -p prop-experiments --bin faults \
 //!     [sweep|recovery] [--quick] [--seed N] [--seeds N [--resume]]
+//!     [--traffic <scenario.json>]
 //! ```
+//!
+//! With `--traffic` the binary replays the scenario bundle (its traffic
+//! script composed with its fault script, if any) on the asynchronous
+//! driver and reports per-phase stretch/delivery.
 
 use prop_experiments::faults;
 use prop_experiments::report::{print_fault_table, print_series_table, write_json, Cli};
 use prop_experiments::sweep::{SweepConfig, SweepExperiment};
+use prop_experiments::traffic::{load_script_or_scenario, run_scenario, TrafficDriver};
 use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let cli = Cli::parse();
+    if let Some(path) = &cli.traffic {
+        let spec = load_script_or_scenario(path, cli.scale, cli.seed);
+        let r = run_scenario(&spec, TrafficDriver::Async, cli.scale);
+        println!("\n=== scenario {} on the async driver (seed {}) ===", spec.name, spec.seed);
+        println!("{}", r.report);
+        println!(
+            "final link stretch {:.3}, connected throughout: {}",
+            r.final_link_stretch, r.always_connected
+        );
+        write_json(&format!("faults_traffic_{}", spec.name), &r);
+        return ExitCode::SUCCESS;
+    }
     if let Some(seeds) = cli.seeds {
         // The sweep unit is the loss × partition grid (improvement% ± CI
         // per cell).

@@ -2,18 +2,23 @@
 //!
 //! ```text
 //! cargo run --release -p prop-experiments --bin fig6 [a|b|c] [--quick] [--seed N]
-//!     [--seeds N [--resume]]
+//!     [--seeds N [--resume]] [--traffic <script.json>]
 //! ```
 //!
 //! Prints each panel's stretch series (vs simulated minutes) and writes
 //! `results/fig6<panel>.json`. With `--seeds N` the run becomes a
 //! seed-sharded Monte-Carlo sweep of the representative stretch curve
 //! (mean ± 95% CI on stretch and protocol overhead; see
-//! [`prop_experiments::sweep`]).
+//! [`prop_experiments::sweep`]). With `--traffic` the workload follows a
+//! TrafficScript's time-varying Zipf popularity instead of the static
+//! uniform pair set (writes `results/fig6_scripted.json`).
 
-use prop_experiments::fig6::{panel_a, panel_b, panel_c, StretchCurve};
+use prop_core::PropConfig;
+use prop_experiments::fig6::{panel_a, panel_b, panel_c, run_curve_scripted, StretchCurve};
 use prop_experiments::report::{print_series_table, write_json, Cli};
+use prop_experiments::setup::Scenario;
 use prop_experiments::sweep::{SweepConfig, SweepExperiment};
+use prop_experiments::traffic::{load_script_or_scenario, topology_from_label};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -43,6 +48,28 @@ fn main() -> ExitCode {
     if let Some(seeds) = cli.seeds {
         let cfg = SweepConfig::new(SweepExperiment::Fig6, cli.scale, cli.seed, seeds);
         return prop_experiments::sweep::run_cli(&cfg, Path::new("results"), cli.resume, &[]);
+    }
+    if let Some(path) = &cli.traffic {
+        let spec = load_script_or_scenario(path, cli.scale, cli.seed);
+        let scenario = Scenario::build(topology_from_label(&spec.topology), spec.n, spec.seed);
+        let (curve, overhead) = run_curve_scripted(
+            &scenario,
+            PropConfig::prop_g(),
+            &spec.traffic,
+            cli.scale,
+            format!("scripted:{}", spec.name),
+        );
+        show("_scripted", "Fig 6 — stretch under scripted popularity", &[curve]);
+        println!(
+            "\noverhead: {} trials, {:.1} msgs/trial",
+            overhead.trials,
+            if overhead.trials == 0 {
+                0.0
+            } else {
+                overhead.total_msgs() as f64 / overhead.trials as f64
+            }
+        );
+        return ExitCode::SUCCESS;
     }
     let run_all = cli.panel.is_none();
     let want = |p: &str| run_all || cli.panel.as_deref() == Some(p);

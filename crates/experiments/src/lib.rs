@@ -10,6 +10,7 @@
 //! | [`fig7`] | Fig. 7 — PROP-O vs PROP-G vs LTM under bimodal heterogeneity (normalized delay vs fraction of fast-node lookups) | single panel |
 //! | [`ablation`] | §4.3 / §5 text claims | A1 overhead, A2 churn, A3 combining with PNS/PIS, A4 selfish rewiring |
 //! | [`faults`] | robustness (beyond-paper) | loss × partition sweep, partition-recovery timeline |
+//! | [`traffic`] | scripted production traffic (beyond-paper) | diurnal-regional and flash-crowd scenarios, PROP-G vs PROP-O vs selfish per diurnal phase |
 //!
 //! Each experiment takes a [`Scale`]: `Paper` reproduces the published
 //! parameterization (n = 1000 over the ≈3,000-host `ts-large` topology,
@@ -34,6 +35,7 @@ pub mod plot;
 pub mod report;
 pub mod setup;
 pub mod sweep;
+pub mod traffic;
 
 pub use setup::{OracleTier, Scale, Scenario, Topology};
 

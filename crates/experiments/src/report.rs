@@ -139,11 +139,14 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
 }
 
 /// Shared CLI convention for the experiment binaries:
-/// `<bin> [panel] [--quick] [--seed N] [--seeds N] [--resume]`.
+/// `<bin> [panel] [--quick] [--seed N] [--seeds N] [--resume]
+/// [--traffic <file.json>]`.
 ///
 /// `--seeds N` turns the invocation into a seed-sharded Monte-Carlo sweep
 /// (see [`crate::sweep`]); `--resume` continues an interrupted sweep of
-/// the same configuration.
+/// the same configuration. `--traffic` points at a TrafficScript or
+/// Scenario JSON for the binaries that accept scripted traffic (`fig6`,
+/// `faults`, `traffic`).
 pub struct Cli {
     pub panel: Option<String>,
     pub scale: crate::Scale,
@@ -152,6 +155,9 @@ pub struct Cli {
     pub seeds: Option<usize>,
     /// `--resume`: continue an interrupted sweep (only with `--seeds`).
     pub resume: bool,
+    /// `--traffic <path>`: scripted-traffic input for the binaries that
+    /// support it (ignored by the others).
+    pub traffic: Option<String>,
 }
 
 impl Cli {
@@ -161,6 +167,7 @@ impl Cli {
         let mut seed = 1u64;
         let mut seeds = None;
         let mut resume = false;
+        let mut traffic = None;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -177,6 +184,9 @@ impl Cli {
                     );
                 }
                 "--resume" => resume = true,
+                "--traffic" => {
+                    traffic = Some(args.next().expect("--traffic needs a JSON path"));
+                }
                 other if !other.starts_with('-') => panel = Some(other.to_string()),
                 other => panic!("unknown flag {other}"),
             }
@@ -184,7 +194,7 @@ impl Cli {
         if resume && seeds.is_none() {
             panic!("--resume only makes sense with --seeds N");
         }
-        Cli { panel, scale, seed, seeds, resume }
+        Cli { panel, scale, seed, seeds, resume, traffic }
     }
 }
 

@@ -35,7 +35,7 @@
 
 use crate::fig5::{Curve, CurveCi};
 use crate::setup::{Scale, Scenario, Topology};
-use crate::{ablation, embed_agreement, faults, fig5, fig6, fig7};
+use crate::{ablation, embed_agreement, faults, fig5, fig6, fig7, traffic};
 use prop_core::PropConfig;
 use prop_engine::SimRng;
 use prop_metrics::{MetricSummary, TimeSeries};
@@ -64,6 +64,9 @@ pub enum SweepExperiment {
     Faults,
     /// Embedded-tier exchange-decision agreement.
     EmbedAgreement,
+    /// Scripted diurnal-regional traffic: PROP-G vs PROP-O vs selfish,
+    /// per-diurnal-phase stretch and overhead.
+    Traffic,
 }
 
 impl SweepExperiment {
@@ -76,6 +79,7 @@ impl SweepExperiment {
             "ablation" => Some(SweepExperiment::Ablation),
             "faults" => Some(SweepExperiment::Faults),
             "embed_agreement" => Some(SweepExperiment::EmbedAgreement),
+            "traffic" => Some(SweepExperiment::Traffic),
             _ => None,
         }
     }
@@ -88,6 +92,7 @@ impl SweepExperiment {
             SweepExperiment::Ablation => "ablation",
             SweepExperiment::Faults => "faults",
             SweepExperiment::EmbedAgreement => "embed_agreement",
+            SweepExperiment::Traffic => "traffic",
         }
     }
 }
@@ -551,6 +556,27 @@ pub fn run_unit(cfg: &SweepConfig, index: usize, seed: u64) -> SeedRecord {
             metrics.insert("plans".into(), r.plans as f64);
             serde_json::to_value(&r).expect("report serializes")
         }
+        SweepExperiment::Traffic => {
+            let spec =
+                traffic::builtin_scenario("diurnal-regional", cfg.scale, seed, cfg.topology, cfg.n);
+            let runs = traffic::run_comparison(&spec, cfg.scale);
+            for r in &runs {
+                metrics.insert(
+                    format!("stretch_final/{}", r.driver),
+                    r.series.last_value().unwrap_or(0.0),
+                );
+                metrics.insert(format!("link_stretch/{}", r.driver), r.final_link_stretch);
+                metrics.insert(format!("delivery/{}", r.driver), r.report.delivery_rate());
+                metrics.insert(
+                    format!("overhead_msgs_per_trial/{}", r.driver),
+                    r.report.msgs_per_trial(),
+                );
+                for p in &r.report.phases {
+                    metrics.insert(format!("stretch/{}/{}", r.driver, p.phase), p.stretch);
+                }
+            }
+            serde_json::to_value(&runs).expect("runs serialize")
+        }
     };
     SeedRecord { index, seed, metrics, payload }
 }
@@ -797,6 +823,7 @@ mod tests {
             SweepExperiment::Ablation,
             SweepExperiment::Faults,
             SweepExperiment::EmbedAgreement,
+            SweepExperiment::Traffic,
         ] {
             assert_eq!(SweepExperiment::parse(e.label()), Some(e));
         }

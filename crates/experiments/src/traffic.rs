@@ -1,0 +1,471 @@
+//! Scripted-traffic experiments: replaying a production traffic plane
+//! against the PROP drivers.
+//!
+//! A [`prop_faults::Scenario`] bundles topology + population +
+//! [`TrafficScript`] + `FaultScript` under one seed. This module compiles
+//! the script into a [`prop_workloads::CompiledTraffic`] plane and pumps it
+//! through any [`ChurnDriver`] — the synchronous [`ProtocolSim`] (PROP-G or
+//! PROP-O), the asynchronous [`AsyncProtocolSim`], or the selfish baseline
+//! — interleaving scripted joins/leaves/lookups with protocol execution
+//! exactly the way the A2 ablation interleaves its Poisson trace.
+//!
+//! Everything is deterministic: the plane is a pure function of
+//! `(script, seed)`, the apply-side RNG is a labelled fork of the scenario
+//! seed, and measurement uses the deterministic parallel plane — so the
+//! same scenario file replays byte-for-byte on any worker count
+//! (`tests/traffic_replay.rs` pins this).
+
+use crate::setup::{Scale, Scenario, Topology};
+use prop_baselines::selfish::{SelfishConfig, SelfishSim};
+use prop_core::{
+    AsyncProtocolSim, ChurnDriver, PropConfig, ProtocolSim, TrafficCounters, TrafficEvent,
+    TrafficPlane,
+};
+use prop_engine::{Duration, SimTime};
+use prop_faults::{transit_bisection, Scenario as ScenarioSpec};
+use prop_metrics::{link_stretch, par_path_stretch, StretchSummary, TimeSeries, TrafficReport};
+use prop_netsim::oracle::MemberIdx;
+use prop_overlay::gnutella::Gnutella;
+use prop_overlay::Slot;
+use prop_workloads::traffic::script::PHASES;
+use prop_workloads::{CompiledTraffic, TrafficScript};
+use serde::{Deserialize, Serialize};
+
+/// Which driver consumes the traffic plane.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrafficDriver {
+    /// Synchronous driver, PROP-G policy.
+    PropG,
+    /// Synchronous driver, PROP-O policy.
+    PropO,
+    /// Asynchronous driver (PROP-O policy, per-node clocks).
+    Async,
+    /// The §3.1 selfish-rewiring strawman.
+    Selfish,
+}
+
+impl TrafficDriver {
+    pub fn parse(s: &str) -> Option<TrafficDriver> {
+        match s {
+            "prop-g" | "sync" => Some(TrafficDriver::PropG),
+            "prop-o" => Some(TrafficDriver::PropO),
+            "async" => Some(TrafficDriver::Async),
+            "selfish" => Some(TrafficDriver::Selfish),
+            _ => None,
+        }
+    }
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            TrafficDriver::PropG => "prop-g",
+            TrafficDriver::PropO => "prop-o",
+            TrafficDriver::Async => "async",
+            TrafficDriver::Selfish => "selfish",
+        }
+    }
+}
+
+/// One driver's run of one scenario.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrafficRunReport {
+    pub scenario: String,
+    pub driver: String,
+    pub seed: u64,
+    /// Per-sample-window mean path stretch of the scripted lookups.
+    pub series: TimeSeries,
+    /// Per-phase and per-domain accounting.
+    pub report: TrafficReport,
+    /// Events the compiled plane emitted (applied + suppressed).
+    pub emitted: TrafficCounters,
+    pub final_link_stretch: f64,
+    pub always_connected: bool,
+}
+
+/// Wrapper giving the selfish baseline the [`ChurnDriver`] surface (the
+/// trait lives in prop-core, the sim in prop-baselines — neither crate
+/// knows the other, so the glue sits here).
+struct SelfishDriver(SelfishSim);
+
+impl ChurnDriver for SelfishDriver {
+    fn run_until(&mut self, deadline: SimTime) {
+        self.0.run_until(deadline);
+    }
+    fn now(&self) -> SimTime {
+        self.0.now()
+    }
+    fn net(&self) -> &prop_overlay::OverlayNet {
+        self.0.net()
+    }
+    fn net_mut(&mut self) -> &mut prop_overlay::OverlayNet {
+        self.0.net_mut()
+    }
+    fn handle_join(&mut self, slot: Slot) {
+        self.0.handle_join(slot);
+    }
+    fn handle_leave(&mut self, slot: Slot, affected: &[Slot]) {
+        self.0.handle_leave(slot, affected);
+    }
+}
+
+/// Resolve a scenario's topology label to the [`Topology`] preset.
+pub fn topology_from_label(label: &str) -> Topology {
+    [Topology::TsLarge, Topology::TsSmall, Topology::Tiny]
+        .into_iter()
+        .find(|t| t.label() == label)
+        .unwrap_or_else(|| panic!("unknown topology label {label:?}"))
+}
+
+/// Run one scenario on one driver. Scripted lookups become the stretch
+/// workload; scripted joins/leaves flow through the driver's churn entry
+/// points (which refresh `m_default`); faults, if scripted, ride the
+/// transit-bisection fault plane (ignored by the selfish baseline, which
+/// has no message plane).
+pub fn run_scenario(spec: &ScenarioSpec, driver: TrafficDriver, scale: Scale) -> TrafficRunReport {
+    let scenario = Scenario::build(topology_from_label(&spec.topology), spec.n, spec.seed);
+    let (gn, net) = scenario.gnutella();
+    let mut plane = prop_workloads::compile(&spec.traffic, spec.seed);
+    let mut rng = scenario.rng("traffic-sim");
+
+    let fault_plane = || {
+        let sides = transit_bisection(scenario.phys(), &scenario.oracle);
+        Box::new(prop_faults::compile(&spec.faults, &sides, spec.seed))
+    };
+
+    let (series, report, always_connected, final_link_stretch) = match driver {
+        TrafficDriver::PropG | TrafficDriver::PropO => {
+            let cfg = match driver {
+                TrafficDriver::PropG => PropConfig::prop_g(),
+                _ => PropConfig::prop_o(),
+            };
+            let mut sim = ProtocolSim::new(net, cfg, &mut rng);
+            if !spec.faults.events.is_empty() {
+                sim.set_fault_plane(fault_plane());
+            }
+            drive(&mut sim, &gn, spec, &scenario, &mut plane, scale, |s| {
+                let o = s.overhead();
+                (o.trials, o.total_msgs())
+            })
+        }
+        TrafficDriver::Async => {
+            let mut sim = AsyncProtocolSim::new(net, PropConfig::prop_o(), &mut rng);
+            if !spec.faults.events.is_empty() {
+                sim.set_fault_plane(fault_plane());
+            }
+            drive(&mut sim, &gn, spec, &scenario, &mut plane, scale, |s| {
+                let st = s.stats();
+                (st.launched, st.exchanges)
+            })
+        }
+        TrafficDriver::Selfish => {
+            let mut sim = SelfishDriver(SelfishSim::new(net, SelfishConfig::default(), &mut rng));
+            drive(&mut sim, &gn, spec, &scenario, &mut plane, scale, |s| (s.0.rewires, 0))
+        }
+    };
+
+    TrafficRunReport {
+        scenario: spec.name.clone(),
+        driver: driver.label().to_string(),
+        seed: spec.seed,
+        series,
+        report,
+        emitted: plane.counters(),
+        final_link_stretch,
+        always_connected,
+    }
+}
+
+/// Run the headline comparison: PROP-G vs PROP-O vs selfish on the same
+/// scenario (same plane, same apply-side RNG streams).
+pub fn run_comparison(spec: &ScenarioSpec, scale: Scale) -> Vec<TrafficRunReport> {
+    [TrafficDriver::PropG, TrafficDriver::PropO, TrafficDriver::Selfish]
+        .into_iter()
+        .map(|d| run_scenario(spec, d, scale))
+        .collect()
+}
+
+/// The generic pump: interleave plane events with protocol execution, one
+/// sample window at a time; measure the window's scripted lookups with the
+/// deterministic parallel stretch plane; attribute everything to diurnal
+/// phases. `progress` reads the driver's cumulative (trials, msgs).
+fn drive<S: ChurnDriver>(
+    sim: &mut S,
+    gn: &Gnutella,
+    spec: &ScenarioSpec,
+    scenario: &Scenario,
+    plane: &mut CompiledTraffic,
+    scale: Scale,
+    progress: impl Fn(&S) -> (u64, u64),
+) -> (TimeSeries, TrafficReport, bool, f64) {
+    let phys = scenario.phys();
+    let num_domains = (phys.num_transit_domains().max(1)).min(u16::MAX as usize) as u16;
+    // A member's region never changes; slots are resolved through the
+    // placement at apply time (joins reuse departed members).
+    let member_domain: Vec<u16> = (0..spec.n)
+        .map(|m| phys.transit_domain_of(scenario.oracle.host(m)).unwrap_or(0) % num_domains)
+        .collect();
+    // Popularity rank → holder slot, fixed for the run.
+    let ranking: Vec<Slot> = {
+        let mut slots = scenario.all_slots();
+        scenario.rng("traffic-ranking").shuffle(&mut slots);
+        slots
+    };
+    let mut churn_rng = scenario.rng("traffic-churn");
+
+    let mut report = TrafficReport::new(&PHASES, num_domains);
+    let mut series = TimeSeries::new("scripted-lookup path stretch");
+    let mut absent: Vec<MemberIdx> = Vec::new();
+    let mut window_pairs: Vec<(Slot, Slot)> = Vec::new();
+    let mut always_connected = true;
+    let (mut last_trials, mut last_msgs) = progress(sim);
+
+    let horizon = Duration::from_millis(spec.traffic.horizon_ms);
+    let step = scale.sample_every();
+    let mut t = SimTime::ZERO;
+    while t.since(SimTime::ZERO) < horizon {
+        let window_phase = spec.traffic.phase_of_ms(t.as_millis());
+        let deadline = t + step;
+        while let Some((et, ev)) = plane.next_event(deadline) {
+            sim.run_until(et);
+            let phase = spec.traffic.phase_of_ms(et.as_millis());
+            match ev {
+                TrafficEvent::Leave { domain } => {
+                    let domain = domain % num_domains;
+                    let live: Vec<Slot> = sim.net().graph().live_slots().collect();
+                    if live.len() <= 8 {
+                        report.record_suppressed(phase);
+                        continue;
+                    }
+                    let in_domain: Vec<Slot> = live
+                        .iter()
+                        .copied()
+                        .filter(|&s| member_domain[sim.net().peer(s)] == domain)
+                        .collect();
+                    let pool = if in_domain.is_empty() { &live } else { &in_domain };
+                    let victim = *churn_rng.pick(pool).unwrap();
+                    let peer = sim.net().peer(victim);
+                    let affected: Vec<Slot> = sim.net().graph().neighbors(victim).to_vec();
+                    gn.leave(sim.net_mut(), victim, &mut churn_rng);
+                    sim.handle_leave(victim, &affected);
+                    absent.push(peer);
+                    report.record_leave(phase, member_domain[peer]);
+                    always_connected &= sim.net().graph().is_connected();
+                }
+                TrafficEvent::Join { domain } => {
+                    let domain = domain % num_domains;
+                    if absent.is_empty() {
+                        report.record_suppressed(phase);
+                        continue;
+                    }
+                    // Prefer rejoining a peer homed in the scripted region;
+                    // fall back to the most recent departure.
+                    let pos = absent
+                        .iter()
+                        .position(|&p| member_domain[p] == domain)
+                        .unwrap_or(absent.len() - 1);
+                    let peer = absent.swap_remove(pos);
+                    let slot = gn.join(sim.net_mut(), peer, &mut churn_rng);
+                    sim.handle_join(slot);
+                    report.record_join(phase, member_domain[peer]);
+                    always_connected &= sim.net().graph().is_connected();
+                }
+                TrafficEvent::Lookup { domain, rank } => {
+                    let domain = domain % num_domains;
+                    let dst = ranking[rank as usize % ranking.len()];
+                    if !sim.net().graph().is_alive(dst) {
+                        report.record_suppressed(phase);
+                        continue;
+                    }
+                    let in_domain: Vec<Slot> = sim
+                        .net()
+                        .graph()
+                        .live_slots()
+                        .filter(|&s| s != dst && member_domain[sim.net().peer(s)] == domain)
+                        .collect();
+                    let src = if in_domain.is_empty() {
+                        let live: Vec<Slot> =
+                            sim.net().graph().live_slots().filter(|&s| s != dst).collect();
+                        match churn_rng.pick(&live) {
+                            Some(&s) => s,
+                            None => {
+                                report.record_suppressed(phase);
+                                continue;
+                            }
+                        }
+                    } else {
+                        *churn_rng.pick(&in_domain).unwrap()
+                    };
+                    window_pairs.push((src, dst));
+                    report.record_lookup(phase, domain);
+                }
+            }
+        }
+        sim.run_until(deadline);
+        t = deadline;
+
+        let summary = if window_pairs.is_empty() {
+            StretchSummary { mean: f64::NAN, delivered: 0, failed: 0, skipped: 0 }
+        } else {
+            par_path_stretch(sim.net(), gn, &window_pairs)
+        };
+        window_pairs.clear();
+        let (trials, msgs) = progress(sim);
+        report.record_window(
+            window_phase,
+            &summary,
+            trials.saturating_sub(last_trials),
+            msgs.saturating_sub(last_msgs),
+        );
+        (last_trials, last_msgs) = (trials, msgs);
+        if summary.delivered > 0 {
+            series.push(t, summary.mean);
+        }
+    }
+
+    let final_link_stretch = link_stretch(sim.net());
+    (series, report, always_connected, final_link_stretch)
+}
+
+/// Built-in scenarios for the `traffic` binary, the sweep orchestrator,
+/// and CI: the two committed example scripts, regenerated at any scale.
+/// `topology`/`n` override the scale defaults (the sweep does this for its
+/// tiny test fixtures).
+pub fn builtin_scenario(
+    name: &str,
+    scale: Scale,
+    seed: u64,
+    topology: Option<Topology>,
+    n: Option<usize>,
+) -> ScenarioSpec {
+    let topo = topology.unwrap_or(match scale {
+        Scale::Paper => Topology::TsLarge,
+        Scale::Quick => Topology::TsSmall,
+    });
+    let n = n.unwrap_or(scale.default_n());
+    let horizon_ms = scale.horizon().as_millis();
+    // Compress a full 24-hour diurnal day into the run.
+    let hour_ms = (horizon_ms / prop_workloads::traffic::HOURS_PER_DAY).max(1);
+    let catalog = (n as u32 / 2).max(10);
+    // Total churn matches the A2 ablation (n/100 per minute across the
+    // overlay); lookups refill the scale's per-sample workload.
+    let churn_per_min = n as f64 / 100.0 / 4.0;
+    let lookups_per_min = scale.lookups_per_sample() as f64 * 60_000.0
+        / scale.sample_every().as_millis() as f64
+        / 4.0;
+    let script = match name {
+        "diurnal-regional" => TrafficScript::preset_diurnal_regional(
+            hour_ms,
+            horizon_ms,
+            catalog,
+            churn_per_min,
+            lookups_per_min,
+        ),
+        "flash-crowd" => TrafficScript::preset_flash_crowd(
+            hour_ms,
+            horizon_ms,
+            catalog,
+            churn_per_min,
+            lookups_per_min,
+        ),
+        other => panic!("unknown builtin scenario {other:?} (try diurnal-regional, flash-crowd)"),
+    };
+    ScenarioSpec::new(name, topo.label(), n, seed, script)
+}
+
+/// Load a scenario bundle from a JSON file (see `examples/*.json`).
+pub fn load_scenario(path: &str) -> ScenarioSpec {
+    let json = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read scenario {path}: {e}"));
+    serde_json::from_str(&json).unwrap_or_else(|e| panic!("cannot parse scenario {path}: {e}"))
+}
+
+/// Load either a full [`ScenarioSpec`] bundle or a bare [`TrafficScript`]
+/// from JSON (the `--traffic` flag accepts both). A bare script is wrapped
+/// in a scenario named after the file, at the scale's default topology and
+/// population, under `seed`. A full bundle keeps its own seed — it *is*
+/// the reproducible unit.
+pub fn load_script_or_scenario(path: &str, scale: Scale, seed: u64) -> ScenarioSpec {
+    let json = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read scenario {path}: {e}"));
+    if let Ok(spec) = serde_json::from_str::<ScenarioSpec>(&json) {
+        return spec;
+    }
+    let script: TrafficScript = serde_json::from_str(&json)
+        .unwrap_or_else(|e| panic!("{path} is neither a Scenario nor a TrafficScript: {e}"));
+    let topo = match scale {
+        Scale::Paper => Topology::TsLarge,
+        Scale::Quick => Topology::TsSmall,
+    };
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("scripted")
+        .to_string();
+    ScenarioSpec::new(name, topo.label(), scale.default_n(), seed, script)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec(seed: u64) -> ScenarioSpec {
+        // A compressed day over the tiny topology: 24 "hours" of 25 s each,
+        // sampled by Quick-scale 5-minute windows (2 windows total).
+        let script = TrafficScript::preset_diurnal_regional(25_000, 600_000, 12, 0.8, 12.0);
+        ScenarioSpec::new("tiny-diurnal", "tiny", 24, seed, script)
+    }
+
+    #[test]
+    fn scripted_run_applies_traffic_and_stays_connected() {
+        let r = run_scenario(&tiny_spec(7), TrafficDriver::PropO, Scale::Quick);
+        assert!(r.always_connected, "overlay disconnected under scripted churn");
+        assert!(r.emitted.total() > 0, "plane emitted nothing");
+        assert!(r.report.total_applied() > 0, "nothing applied");
+        assert!(r.report.phases.iter().map(|p| p.lookups).sum::<u64>() > 0);
+        assert!(r.final_link_stretch.is_finite() && r.final_link_stretch > 0.0);
+        assert!(!r.series.is_empty(), "no stretch samples");
+    }
+
+    #[test]
+    fn same_seed_replays_identically() {
+        let a = run_scenario(&tiny_spec(9), TrafficDriver::PropG, Scale::Quick);
+        let b = run_scenario(&tiny_spec(9), TrafficDriver::PropG, Scale::Quick);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "same (scenario, seed) must replay byte-for-byte"
+        );
+    }
+
+    #[test]
+    fn selfish_driver_consumes_the_same_plane() {
+        let r = run_scenario(&tiny_spec(11), TrafficDriver::Selfish, Scale::Quick);
+        assert_eq!(r.driver, "selfish");
+        assert!(r.always_connected);
+        assert!(r.report.total_applied() > 0);
+    }
+
+    #[test]
+    fn builtin_scenarios_build_at_quick_scale() {
+        let d = builtin_scenario("diurnal-regional", Scale::Quick, 1, None, None);
+        assert_eq!(d.topology, "ts-small");
+        assert_eq!(d.traffic.domains.len(), 4);
+        assert_eq!(d.traffic.buckets(), 24, "a full compressed day");
+        let f = builtin_scenario("flash-crowd", Scale::Quick, 1, Some(Topology::Tiny), Some(24));
+        assert_eq!(f.n, 24);
+        assert_eq!(f.traffic.flash_crowds.len(), 2);
+    }
+
+    #[test]
+    fn driver_labels_round_trip() {
+        for d in [
+            TrafficDriver::PropG,
+            TrafficDriver::PropO,
+            TrafficDriver::Async,
+            TrafficDriver::Selfish,
+        ] {
+            assert_eq!(TrafficDriver::parse(d.label()), Some(d));
+        }
+        assert_eq!(TrafficDriver::parse("sync"), Some(TrafficDriver::PropG));
+        assert_eq!(TrafficDriver::parse("nope"), None);
+    }
+}

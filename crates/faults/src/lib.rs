@@ -20,6 +20,10 @@
 //!   drivers and assert Theorem 1 (connectivity — per side during a split,
 //!   globally always) and Theorem 2 (PROP-G isomorphism / PROP-O degree
 //!   preservation) at every checkpoint.
+//! * [`scenario`] — [`Scenario`]: a serde bundle composing topology,
+//!   population, a [`prop_workloads::TrafficScript`], and a [`FaultScript`]
+//!   under one seed — the unit the experiment binaries and the sweep
+//!   orchestrator replay.
 //!
 //! The [`FaultPlane`] trait itself lives in `prop-core` (re-exported here)
 //! so the drivers can consult a plane without depending on the injector
@@ -34,6 +38,7 @@
 pub mod harness;
 pub mod partition;
 pub mod plane;
+pub mod scenario;
 pub mod script;
 
 pub use harness::{FaultHarness, HarnessReport, ReplayResult};
@@ -42,6 +47,7 @@ pub use plane::{
     compile, ComposedPlane, CrashInjector, DupInjector, LossInjector, PartitionInjector,
     ReorderInjector, SpikeInjector,
 };
+pub use scenario::Scenario;
 pub use script::{FaultEvent, FaultScript};
 
 // The contract the drivers speak, defined next to them in `prop-core`.

@@ -1,0 +1,118 @@
+//! Scenario bundles: one JSON document, one seed, one reproducible run.
+//!
+//! A [`Scenario`] composes everything that defines an experiment besides
+//! the driver under test: the physical topology, the population size, the
+//! scripted traffic plane ([`TrafficScript`]) and the scripted fault plane
+//! ([`FaultScript`]), all replayed under a single seed. Experiments load a
+//! scenario from disk (see `examples/*.json` at the repo root), compile
+//! both scripts, and run — the same file on the same seed reproduces the
+//! same trace byte-for-byte on any worker count.
+
+use crate::script::FaultScript;
+use prop_workloads::TrafficScript;
+use serde::{Deserialize, Serialize};
+
+/// A named, self-contained experiment input.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Scenario name — used for output file naming and report labels.
+    pub name: String,
+    /// Topology label as understood by the experiment layer
+    /// (`"ts-large"`, `"ts-small"`, `"tiny"`).
+    pub topology: String,
+    /// Overlay population (member count).
+    pub n: usize,
+    /// Master seed. Traffic, faults, topology, and the driver all fork
+    /// from it with distinct labels.
+    pub seed: u64,
+    /// The production traffic plane: diurnal per-domain churn/lookup
+    /// rates, flash crowds, popularity shifts.
+    pub traffic: TrafficScript,
+    /// Optional fault plane composed alongside the traffic (defaults to
+    /// no faults).
+    #[serde(default)]
+    pub faults: FaultScript,
+}
+
+impl Scenario {
+    /// A fault-free scenario around a traffic script.
+    pub fn new(
+        name: impl Into<String>,
+        topology: impl Into<String>,
+        n: usize,
+        seed: u64,
+        traffic: TrafficScript,
+    ) -> Self {
+        Scenario {
+            name: name.into(),
+            topology: topology.into(),
+            n,
+            seed,
+            traffic,
+            faults: FaultScript::default(),
+        }
+    }
+
+    /// Attach a fault script.
+    pub fn with_faults(mut self, faults: FaultScript) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Re-seed a scenario (sweeps shard one scenario across many seeds).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Scenario {
+        let traffic = TrafficScript::preset_diurnal_regional(60_000, 24 * 60_000, 40, 1.0, 5.0);
+        Scenario::new("diurnal", "tiny", 24, 7, traffic)
+            .with_faults(FaultScript::new().loss(0, 0.05))
+    }
+
+    #[test]
+    fn round_trips_through_serde() {
+        let s = sample();
+        let json = serde_json::to_string_pretty(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn faults_default_to_empty() {
+        let json = r#"{
+            "name": "bare",
+            "topology": "tiny",
+            "n": 24,
+            "seed": 1,
+            "traffic": {
+                "hour_ms": 60000,
+                "horizon_ms": 120000,
+                "catalog": 10,
+                "domains": [
+                    {"domain": 0, "joins_per_min": 1.0,
+                     "leaves_per_min": 1.0, "lookups_per_min": 4.0}
+                ]
+            }
+        }"#;
+        let s: Scenario = serde_json::from_str(json).unwrap();
+        assert!(s.faults.events.is_empty());
+        assert_eq!(s.traffic.domains.len(), 1);
+        assert!(s.traffic.flash_crowds.is_empty(), "script defaults apply too");
+    }
+
+    #[test]
+    fn reseeding_changes_only_the_seed() {
+        let s = sample();
+        let t = s.clone().with_seed(99);
+        assert_eq!(t.seed, 99);
+        assert_eq!(s.traffic, t.traffic);
+        assert_eq!(s.name, t.name);
+    }
+}

@@ -16,6 +16,8 @@
 //! * [`faultstats`] — fault-plane counters (drops, dups, reorders,
 //!   partition time, crashed-commit aborts) with derived rates, for the
 //!   robustness sweeps.
+//! * [`trafficstats`] — per-diurnal-phase stretch/delivery/overhead rows
+//!   and per-transit-domain event totals for scripted traffic runs.
 //! * [`ci`] — cross-seed mean / sample-stddev / 95%-CI summaries (Student
 //!   t for small seed counts) backing the Monte-Carlo sweep orchestrator.
 //! * [`plane`] — the parallel measurement plane's determinism machinery:
@@ -33,6 +35,7 @@ pub mod oraclestats;
 pub mod plane;
 pub mod stretch;
 pub mod timeseries;
+pub mod trafficstats;
 
 pub use ci::{t_critical_95, MetricSummary};
 pub use convergence::{convergence, Convergence};
@@ -44,3 +47,4 @@ pub use oraclestats::{OracleCacheReport, OracleEmbedReport};
 pub use plane::{warm_pair_rows, MEASURE_CHUNK};
 pub use stretch::{link_stretch, par_path_stretch, path_stretch, StretchSummary};
 pub use timeseries::TimeSeries;
+pub use trafficstats::{TrafficDomainRow, TrafficPhaseRow, TrafficReport};

@@ -30,6 +30,12 @@ impl ChurnTrace {
     /// leave/join processes of the given rates (events per minute).
     /// Leaves and joins alternate fairly on average, keeping the population
     /// roughly stable when the rates match.
+    ///
+    /// Arrival sampling routes through the shared
+    /// [`crate::traffic::process::poisson_train`] process — same
+    /// `"churn-trace"` fork and draw order as the original hand-rolled
+    /// loop, so traces are bit-identical to every prior release
+    /// (regression-pinned in `tests/traffic.rs`).
     pub fn poisson(
         start: SimTime,
         window: Duration,
@@ -40,17 +46,7 @@ impl ChurnTrace {
         let mut rng = rng.fork("churn-trace");
         let mut events = Vec::new();
         for (rate, op) in [(leaves_per_min, ChurnOp::Leave), (joins_per_min, ChurnOp::Join)] {
-            if rate <= 0.0 {
-                continue;
-            }
-            let mean_gap_ms = 60_000.0 / rate;
-            let mut t = start;
-            loop {
-                let gap = Duration::from_millis(rng.exp_millis(mean_gap_ms).max(1));
-                t += gap;
-                if t.since(start) >= window {
-                    break;
-                }
+            for t in crate::traffic::process::poisson_train(start, window, rate, &mut rng) {
                 events.push((t, op));
             }
         }

@@ -10,11 +10,22 @@
 //!   peers are *fast* (small processing delay), the rest *slow*.
 //! * [`churn`] — Poisson join/leave traces for the dynamic-environment
 //!   experiments.
+//! * [`traffic`] — the scripted production traffic plane: serde
+//!   [`TrafficScript`]s (per-transit-domain diurnal rate tables, flash
+//!   crowds, shifting Zipf popularity) compiled under one seed into a
+//!   replayable [`prop_core::TrafficPlane`] event trace. The static
+//!   [`churn`] and [`zipf`] generators route through its arrival and
+//!   popularity processes.
 
 pub mod churn;
 pub mod hetero;
 pub mod lookups;
+pub mod traffic;
 pub mod zipf;
 
 pub use hetero::BimodalParams;
 pub use lookups::LookupGen;
+pub use traffic::{
+    compile, CompiledTraffic, DomainProfile, FlashCrowd, PopularityProcess, PopularityShift,
+    TrafficScript,
+};

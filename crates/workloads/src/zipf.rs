@@ -67,6 +67,12 @@ impl Zipf {
 /// A lookup workload whose destinations follow Zipf popularity over a
 /// ranked list of holder slots (`ranking[0]` = the most popular object's
 /// holder). Sources are uniform.
+///
+/// Sampling routes through a shift-free
+/// [`crate::traffic::PopularityProcess`] — same `"zipf-pairs"` fork and
+/// draw order as the original hand-rolled loop, so workloads are
+/// bit-identical to every prior release (regression-pinned in
+/// `tests/traffic.rs`).
 pub fn zipf_pairs(
     live: &[Slot],
     ranking: &[Slot],
@@ -75,17 +81,9 @@ pub fn zipf_pairs(
     rng: &mut SimRng,
 ) -> Vec<(Slot, Slot)> {
     assert!(live.len() >= 2 && !ranking.is_empty());
-    let zipf = Zipf::new(ranking.len(), alpha);
+    let process = crate::traffic::PopularityProcess::constant(ranking.len() as u32, alpha);
     let mut rng = rng.fork("zipf-pairs");
-    (0..count)
-        .map(|_| loop {
-            let src = *rng.pick(live).unwrap();
-            let dst = ranking[zipf.sample(&mut rng)];
-            if src != dst {
-                return (src, dst);
-            }
-        })
-        .collect()
+    process.pairs_at(0, live, ranking, count, &mut rng)
 }
 
 #[cfg(test)]

@@ -1,0 +1,218 @@
+//! Traffic-plane property tests (PR satellite suite):
+//!
+//! * serde round-trip: compile → serialize → deserialize → compile is the
+//!   identity on the event trace;
+//! * determinism across rayon worker counts;
+//! * flash crowds never emit events outside their windows (and never
+//!   perturb the base streams);
+//! * legacy-stream regression: `ChurnTrace::poisson` and `zipf_pairs`
+//!   produce bit-identical output to the pre-refactor hand-rolled loops
+//!   they were deduplicated from.
+
+use prop_engine::{Duration, SimRng, SimTime};
+use prop_overlay::Slot;
+use prop_workloads::churn::{ChurnOp, ChurnTrace};
+use prop_workloads::traffic::{self, DomainProfile, FlashCrowd, TrafficScript};
+use prop_workloads::zipf::{zipf_pairs, Zipf};
+use proptest::prelude::*;
+
+fn arb_script() -> impl Strategy<Value = TrafficScript> {
+    let profile = (0u16..6, 0.0f64..2.0, 0.0f64..2.0, 0.0f64..6.0, 0u8..24).prop_map(
+        |(domain, j, l, lk, off)| {
+            DomainProfile::flat(domain, j, l, lk)
+                .with_hourly(traffic::script::DIURNAL_SHAPE.to_vec())
+                .with_offset(off)
+        },
+    );
+    let shift = (0u64..3_000_000, 0.0f64..1.8, 0u32..200)
+        .prop_map(|(at_ms, alpha, rotate)| (at_ms, alpha, rotate));
+    let flash = (0u64..3_000_000, 1u64..400_000, 1.0f64..5.0, 1u32..12).prop_map(
+        |(at_ms, dur, mult, hot)| FlashCrowd {
+            at_ms,
+            duration_ms: dur,
+            multiplier: mult,
+            hot_keys: hot,
+        },
+    );
+    (
+        20_000u64..120_000,
+        2u64..30,
+        1u32..64,
+        proptest::collection::vec(profile, 1..4),
+        proptest::collection::vec(shift, 0..3),
+        proptest::collection::vec(flash, 0..3),
+    )
+        .prop_map(|(hour_ms, hours, catalog, domains, shifts, flashes)| {
+            let mut s = TrafficScript::new(hour_ms, hours * hour_ms, catalog);
+            for d in domains {
+                s = s.domain(d);
+            }
+            for (at_ms, alpha, rotate) in shifts {
+                s = s.shift(at_ms, alpha, rotate);
+            }
+            s.flash_crowds = flashes;
+            s
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn serde_round_trip_compiles_identically(script in arb_script(), seed in 0u64..1000) {
+        let json = serde_json::to_string(&script).unwrap();
+        let back: TrafficScript = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&script, &back, "script must round-trip structurally");
+        let a = traffic::compile(&script, seed);
+        let b = traffic::compile(&back, seed);
+        prop_assert_eq!(a.events(), b.events());
+    }
+
+    #[test]
+    fn trace_is_sorted_and_inside_horizon(script in arb_script(), seed in 0u64..1000) {
+        let c = traffic::compile(&script, seed);
+        for w in c.events().windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+        }
+        for &(t, _) in c.events() {
+            prop_assert!(t.as_millis() < script.horizon_ms);
+        }
+    }
+
+    #[test]
+    fn flash_crowds_stay_inside_their_windows(script in arb_script(), seed in 0u64..1000) {
+        let mut base_script = script.clone();
+        base_script.flash_crowds.clear();
+        let with_flash = traffic::compile(&script, seed);
+        let base = traffic::compile(&base_script, seed);
+
+        // Flash streams are independent forks: the base trace must survive
+        // as an ordered subsequence, and every extra event must be a
+        // hot-set lookup inside some flash window.
+        let mut base_iter = base.events().iter().peekable();
+        for ev in with_flash.events() {
+            if base_iter.peek() == Some(&ev) {
+                base_iter.next();
+                continue;
+            }
+            let (t, extra) = *ev;
+            let host = script
+                .flash_crowds
+                .iter()
+                .find(|f| f.contains_ms(t.as_millis()));
+            prop_assert!(host.is_some(), "extra event at {:?} outside every flash window", t);
+            match extra {
+                prop_core::TrafficEvent::Lookup { rank, .. } => {
+                    prop_assert!(rank < host.unwrap().hot_keys.min(script.catalog));
+                }
+                other => prop_assert!(false, "flash emitted non-lookup {:?}", other),
+            }
+        }
+        prop_assert!(base_iter.peek().is_none(), "flash crowds perturbed the base streams");
+    }
+}
+
+#[test]
+fn compile_is_worker_count_independent() {
+    let scripts = [
+        TrafficScript::preset_diurnal_regional(60_000, 12 * 60_000, 50, 1.0, 5.0),
+        TrafficScript::preset_flash_crowd(60_000, 12 * 60_000, 50, 1.0, 5.0),
+    ];
+    for (i, script) in scripts.iter().enumerate() {
+        let single = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| traffic::compile(script, 42 + i as u64));
+        let many = rayon::ThreadPoolBuilder::new()
+            .num_threads(8)
+            .build()
+            .unwrap()
+            .install(|| traffic::compile(script, 42 + i as u64));
+        assert_eq!(single.events(), many.events(), "script {i}");
+    }
+}
+
+/// The pre-refactor `ChurnTrace::poisson` body, verbatim: the dedupe
+/// through `traffic::process::poisson_train` must preserve this stream
+/// bit-for-bit on the paper presets (same fork label, same draw order).
+fn legacy_poisson(
+    start: SimTime,
+    window: Duration,
+    leaves_per_min: f64,
+    joins_per_min: f64,
+    rng: &mut SimRng,
+) -> Vec<(SimTime, ChurnOp)> {
+    let mut rng = rng.fork("churn-trace");
+    let mut events = Vec::new();
+    for (rate, op) in [(leaves_per_min, ChurnOp::Leave), (joins_per_min, ChurnOp::Join)] {
+        if rate <= 0.0 {
+            continue;
+        }
+        let mean_gap_ms = 60_000.0 / rate;
+        let mut t = start;
+        loop {
+            let gap = Duration::from_millis(rng.exp_millis(mean_gap_ms).max(1));
+            t += gap;
+            if t.since(start) >= window {
+                break;
+            }
+            events.push((t, op));
+        }
+    }
+    events.sort_by_key(|&(t, _)| t);
+    events
+}
+
+#[test]
+fn churn_trace_stream_is_preserved() {
+    // Paper-preset rates (A2 uses n/100 per minute at both scales) plus
+    // edge cases: zero rates and asymmetric churn.
+    let cases = [(10.0, 10.0), (1.2, 1.2), (3.0, 1.0), (0.0, 2.0), (0.0, 0.0)];
+    for seed in 0..4u64 {
+        for &(leaves, joins) in &cases {
+            let start = SimTime::ZERO + Duration::from_minutes(seed);
+            let window = Duration::from_minutes(45);
+            let expect = legacy_poisson(start, window, leaves, joins, &mut SimRng::seed_from(seed));
+            let got =
+                ChurnTrace::poisson(start, window, leaves, joins, &mut SimRng::seed_from(seed));
+            assert_eq!(expect, got.events, "seed {seed}, rates ({leaves}, {joins})");
+        }
+    }
+}
+
+/// The pre-refactor `zipf_pairs` body, verbatim.
+fn legacy_zipf_pairs(
+    live: &[Slot],
+    ranking: &[Slot],
+    alpha: f64,
+    count: usize,
+    rng: &mut SimRng,
+) -> Vec<(Slot, Slot)> {
+    let zipf = Zipf::new(ranking.len(), alpha);
+    let mut rng = rng.fork("zipf-pairs");
+    (0..count)
+        .map(|_| loop {
+            let src = *rng.pick(live).unwrap();
+            let dst = ranking[zipf.sample(&mut rng)];
+            if src != dst {
+                return (src, dst);
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn zipf_pairs_stream_is_preserved() {
+    let live: Vec<Slot> = (0..40).map(Slot).collect();
+    let mut ranking = live.clone();
+    ranking.reverse();
+    for seed in 0..4u64 {
+        for &alpha in &[0.0, 0.8, 1.0, 1.2] {
+            let expect =
+                legacy_zipf_pairs(&live, &ranking, alpha, 600, &mut SimRng::seed_from(seed));
+            let got = zipf_pairs(&live, &ranking, alpha, 600, &mut SimRng::seed_from(seed));
+            assert_eq!(expect, got, "seed {seed}, alpha {alpha}");
+        }
+    }
+}
