@@ -20,7 +20,7 @@ use crate::exchange::{self, PlanKind};
 use crate::fault::{FaultCounters, FaultPlane, MsgKind};
 use crate::protocol::NodeState;
 use prop_engine::{Duration, EventQueue, SimRng, SimTime};
-use prop_overlay::walk::WalkPath;
+use prop_overlay::walk::WalkScratch;
 use prop_overlay::{OverlayNet, Slot};
 use serde::{Deserialize, Serialize};
 
@@ -82,6 +82,11 @@ pub struct ProtocolSim {
     /// Trials per oracle-prefetch batch (see
     /// [`ProtocolSim::set_trial_batch`]).
     trial_batch: usize,
+    /// Reusable walk/candidate buffers: the steady-state trial loop must
+    /// not allocate (pinned by the `alloc_regression` test).
+    walk_scratch: WalkScratch,
+    /// Reusable neighbor-list buffer for the churn entry points.
+    churn_scratch: Vec<Slot>,
 }
 
 impl ProtocolSim {
@@ -114,6 +119,8 @@ impl ProtocolSim {
             overhead: Overhead::default(),
             plane: None,
             trial_batch: DEFAULT_TRIAL_BATCH,
+            walk_scratch: WalkScratch::new(),
+            churn_scratch: Vec::new(),
         }
     }
 
@@ -209,19 +216,23 @@ impl ProtocolSim {
 
     /// Batch-prefetch oracle rows for the origins of pending trials due by
     /// `deadline`. Purely a cache warmer: see [`ProtocolSim::set_trial_batch`].
+    ///
+    /// `pending_until` reads exactly the next `trial_batch` events in pop
+    /// order from the timer wheel, so the prefetch cost per batch is
+    /// O(batch) rather than a scan of the whole pending set — the scan made
+    /// long runs quadratic in the population at million scale.
     fn warm_pending_rows(&mut self, deadline: SimTime) {
         if self.trial_batch <= 1 || self.net.oracle_cache_stats().is_none() {
             return; // prefetch disabled, or dense tier (warming is a no-op)
         }
         let slots: Vec<Slot> = self
             .events
-            .pending()
-            .filter(|&(t, _)| t <= deadline)
+            .pending_until(deadline, self.trial_batch)
+            .into_iter()
             .map(|(_, ev)| match ev {
                 Ev::Probe(slot) => *slot,
             })
             .filter(|&s| self.net.graph().is_alive(s) && self.nodes[s.index()].is_some())
-            .take(self.trial_batch)
             .collect();
         self.net.warm_latency_rows(&slots);
     }
@@ -251,7 +262,7 @@ impl ProtocolSim {
             }
         }
 
-        let (walk, first_hop) = match self.cfg.probe {
+        let first_hop = match self.cfg.probe {
             ProbeMode::Walk { nhops } => {
                 let Some(first) = self.nodes[slot.index()].as_ref().unwrap().next_first_hop()
                 else {
@@ -274,14 +285,24 @@ impl ProtocolSim {
                     }
                 };
                 self.overhead.walk_msgs += nhops as u64;
-                let w = self.net.probe_walk(slot, first, nhops, &mut self.rng);
-                (w, Some(first))
+                self.net.probe_walk_into(slot, first, nhops, &mut self.rng, &mut self.walk_scratch);
+                Some(first)
             }
             ProbeMode::Random => {
-                let live: Vec<Slot> =
-                    self.net.graph().live_slots().filter(|&s| s != slot).collect();
-                match self.rng.pick(&live) {
-                    Some(&v) => (WalkPath { path: vec![slot, v] }, None),
+                // One rank draw over the live population minus self replaces
+                // the old O(n) `live_slots().collect()` per trial. The draw
+                // consumes the RNG exactly as `pick` over that vec did
+                // (same length, same `gen_range` call), and mapping the
+                // drawn rank around this node's own live rank selects the
+                // identical slot — seeded runs are unchanged.
+                let g = self.net.graph();
+                match self.rng.pick_rank(g.num_live().saturating_sub(1)) {
+                    Some(k) => {
+                        let rank = if k < g.live_rank(slot) { k } else { k + 1 };
+                        let v = g.live_slot_at_rank(rank).expect("rank within live population");
+                        self.walk_scratch.set_pair(slot, v);
+                        None
+                    }
                     None => {
                         self.reschedule(slot);
                         return;
@@ -289,6 +310,7 @@ impl ProtocolSim {
                 }
             }
         };
+        let walk = self.walk_scratch.walk();
 
         self.overhead.trials += 1;
 
@@ -319,9 +341,8 @@ impl ProtocolSim {
                         .merge(plane.deliver(now, MsgKind::Commit, up, vp));
                 }
                 if !verdict.delivered {
-                    let cfg = self.cfg.clone();
                     if let Some(state) = self.nodes[slot.index()].as_mut() {
-                        state.record_trial(&cfg, first_hop, false);
+                        state.record_trial(&self.cfg, first_hop, false);
                     }
                     self.reschedule(slot);
                     return;
@@ -332,7 +353,7 @@ impl ProtocolSim {
         let mut exchanged = false;
         if full_len {
             if let Some(plan) =
-                exchange::plan_exchange(&self.net, self.cfg.policy, &walk, self.m_default)
+                exchange::plan_exchange(&self.net, self.cfg.policy, walk, self.m_default)
             {
                 // Probing cost of evaluating the hypothetical neighborhoods.
                 self.overhead.probe_msgs += match &plan.kind {
@@ -350,9 +371,8 @@ impl ProtocolSim {
             }
         }
 
-        let cfg = self.cfg.clone();
         if let Some(state) = self.nodes[slot.index()].as_mut() {
-            state.record_trial(&cfg, first_hop, exchanged);
+            state.record_trial(&self.cfg, first_hop, exchanged);
         }
         self.reschedule(slot);
     }
@@ -424,8 +444,14 @@ impl ProtocolSim {
         let offset =
             Duration::from_millis(self.rng.range(0..self.cfg.init_timer.as_millis().max(1)));
         self.events.schedule_in(offset, Ev::Probe(slot));
-        let neighbors: Vec<Slot> = self.net.graph().neighbors(slot).to_vec();
+        // Snapshot the neighbor list into the driver-owned scratch (the
+        // notifications below mutate node state, so the graph's slice can't
+        // stay borrowed) — no per-join allocation once it reaches capacity.
+        let mut neighbors = std::mem::take(&mut self.churn_scratch);
+        neighbors.clear();
+        neighbors.extend_from_slice(self.net.graph().neighbors(slot));
         self.notify_neighborhood_change(&neighbors);
+        self.churn_scratch = neighbors;
         self.refresh_m_default();
     }
 

@@ -34,7 +34,7 @@ use crate::fault::{FaultCounters, FaultPlane, MsgKind};
 use crate::protocol::NodeState;
 use crate::sim::DEFAULT_TRIAL_BATCH;
 use prop_engine::{Duration, EventQueue, SimRng, SimTime};
-use prop_overlay::walk::WalkPath;
+use prop_overlay::walk::{WalkPath, WalkScratch};
 use prop_overlay::{OverlayNet, Slot};
 use serde::{Deserialize, Serialize};
 
@@ -99,6 +99,13 @@ pub struct AsyncProtocolSim {
     /// Trials per oracle-prefetch batch (see
     /// [`AsyncProtocolSim::set_trial_batch`]).
     trial_batch: usize,
+    /// Reusable walk/candidate buffers. Unlike the synchronous driver, one
+    /// clone per launch is unavoidable here — the `Commit` event owns its
+    /// walk while it is in flight — but the per-hop candidate lists reuse
+    /// this scratch.
+    walk_scratch: WalkScratch,
+    /// Reusable neighbor-list buffer for the churn entry points.
+    churn_scratch: Vec<Slot>,
 }
 
 impl AsyncProtocolSim {
@@ -130,6 +137,8 @@ impl AsyncProtocolSim {
             stats: AsyncStats::default(),
             plane: None,
             trial_batch: DEFAULT_TRIAL_BATCH,
+            walk_scratch: WalkScratch::new(),
+            churn_scratch: Vec::new(),
         }
     }
 
@@ -217,14 +226,11 @@ impl AsyncProtocolSim {
         if self.trial_batch <= 1 || self.net.oracle_cache_stats().is_none() {
             return; // prefetch disabled, or dense tier (warming is a no-op)
         }
-        let mut slots: Vec<Slot> = Vec::with_capacity(self.trial_batch);
-        for (t, ev) in self.events.pending() {
-            if t > deadline || slots.len() >= self.trial_batch {
-                if slots.len() >= self.trial_batch {
-                    break;
-                }
-                continue;
-            }
+        // `pending_until` reads the next `trial_batch` events in pop order
+        // from the timer wheel — O(batch) per refill, where the old
+        // full-pending scan made long runs quadratic in the population.
+        let mut slots: Vec<Slot> = Vec::with_capacity(2 * self.trial_batch);
+        for (_, ev) in self.events.pending_until(deadline, self.trial_batch) {
             match ev {
                 Ev::Tick(slot) => slots.push(*slot),
                 Ev::Commit { origin, walk, .. } => {
@@ -275,13 +281,21 @@ impl AsyncProtocolSim {
                     self.reschedule(slot);
                     return;
                 };
-                self.net.probe_walk(slot, first, nhops, &mut self.rng)
+                self.net.probe_walk_into(slot, first, nhops, &mut self.rng, &mut self.walk_scratch);
+                self.walk_scratch.walk().clone()
             }
             ProbeMode::Random => {
-                let live: Vec<Slot> =
-                    self.net.graph().live_slots().filter(|&s| s != slot).collect();
-                match self.rng.pick(&live) {
-                    Some(&v) => WalkPath { path: vec![slot, v] },
+                // Rank draw over the live population minus self — same RNG
+                // consumption and same selected slot as the old
+                // `live_slots().collect()` + `pick`, without the O(n) scan
+                // (see the synchronous driver for the mapping argument).
+                let g = self.net.graph();
+                match self.rng.pick_rank(g.num_live().saturating_sub(1)) {
+                    Some(k) => {
+                        let rank = if k < g.live_rank(slot) { k } else { k + 1 };
+                        let v = g.live_slot_at_rank(rank).expect("rank within live population");
+                        WalkPath { path: vec![slot, v] }
+                    }
                     None => {
                         self.reschedule(slot);
                         return;
@@ -319,10 +333,9 @@ impl AsyncProtocolSim {
                 let link_extra = plane.link_extra_ms(now, up, vp);
                 if !verdict.delivered {
                     self.stats.faulted += 1;
-                    let cfg = self.cfg.clone();
                     let first_hop = walk.path.get(1).copied();
                     if let Some(state) = self.nodes[slot.index()].as_mut() {
-                        state.record_trial(&cfg, first_hop, false);
+                        state.record_trial(&self.cfg, first_hop, false);
                     }
                     self.reschedule(slot);
                     return;
@@ -407,9 +420,8 @@ impl AsyncProtocolSim {
                 if !verdict.delivered {
                     if !dup {
                         self.stats.faulted += 1;
-                        let cfg = self.cfg.clone();
                         if let Some(state) = self.nodes[origin.index()].as_mut() {
-                            state.record_trial(&cfg, first_hop, false);
+                            state.record_trial(&self.cfg, first_hop, false);
                         }
                         self.reschedule(origin);
                     }
@@ -434,9 +446,8 @@ impl AsyncProtocolSim {
         if !valid {
             if !dup {
                 self.stats.stale_aborts += 1;
-                let cfg = self.cfg.clone();
                 if let Some(state) = self.nodes[origin.index()].as_mut() {
-                    state.record_trial(&cfg, first_hop, false);
+                    state.record_trial(&self.cfg, first_hop, false);
                 }
                 self.reschedule(origin);
             }
@@ -467,9 +478,8 @@ impl AsyncProtocolSim {
         } else {
             self.stats.no_gain += 1;
         }
-        let cfg = self.cfg.clone();
         if let Some(state) = self.nodes[origin.index()].as_mut() {
-            state.record_trial(&cfg, first_hop, exchanged);
+            state.record_trial(&self.cfg, first_hop, exchanged);
         }
         self.reschedule(origin);
     }
@@ -532,8 +542,13 @@ impl AsyncProtocolSim {
         let offset =
             Duration::from_millis(self.rng.range(0..self.cfg.init_timer.as_millis().max(1)));
         self.events.schedule_in(offset, Ev::Tick(slot));
-        let neighbors: Vec<Slot> = self.net.graph().neighbors(slot).to_vec();
+        // Snapshot neighbors into the driver-owned scratch, as in the
+        // synchronous driver: no per-join allocation once at capacity.
+        let mut neighbors = std::mem::take(&mut self.churn_scratch);
+        neighbors.clear();
+        neighbors.extend_from_slice(self.net.graph().neighbors(slot));
         self.notify_neighborhood_change(&neighbors);
+        self.churn_scratch = neighbors;
         self.refresh_m_default();
     }
 

@@ -7,26 +7,34 @@
 //! runs on:
 //!
 //! * [`SimTime`] / [`Duration`] — a millisecond-granularity simulated clock.
-//! * [`EventQueue`] — a stable (FIFO within a timestamp) pending-event set.
+//! * [`EventQueue`] — a stable (FIFO within a timestamp) pending-event set:
+//!   a hierarchical timer wheel with amortized O(1) schedule/pop and a
+//!   bounded ordered look-ahead ([`EventQueue::pending_until`]). The
+//!   pre-wheel heap survives as [`BinaryHeapEventQueue`], the reference
+//!   oracle the equivalence proptests pop against.
 //! * [`SimRng`] — seedable, stream-splittable ChaCha8 randomness so every
 //!   experiment is reproducible bit-for-bit.
 //! * [`MarkovTimer`] — the paper's §3.2 probe-interval controller (double on
 //!   failure, reset on success or on exceeding `MAX_TIMER`).
 //! * [`stats`] — small online statistics helpers shared by the metrics and
 //!   experiment crates.
+//! * [`alloc_track`] — an opt-in counting global allocator so perf claims
+//!   ("zero allocations per steady-state trial") are testable, not folklore.
 //!
 //! The kernel is intentionally *pull-based*: the simulation driver pops
 //! `(time, event)` pairs and dispatches them itself. This keeps the kernel
 //! free of trait objects and borrows, which matters because handlers need
 //! `&mut` access to large shared state (the overlay, the latency oracle).
 
+pub mod alloc_track;
 pub mod backoff;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use alloc_track::{allocation_count, counting_active, CountingAllocator};
 pub use backoff::MarkovTimer;
-pub use queue::EventQueue;
+pub use queue::{BinaryHeapEventQueue, EventQueue};
 pub use rng::SimRng;
 pub use time::{window_overlap_ms, Duration, SimTime};

@@ -1,50 +1,88 @@
 //! The pending-event set.
 //!
-//! A classic calendar built on [`std::collections::BinaryHeap`]. Two details
-//! matter for reproducibility:
+//! [`EventQueue`] is a deterministic **hierarchical timer wheel** (a bucketed
+//! calendar queue): 8 levels × 256 slots, one level per byte of the `u64`
+//! millisecond clock. Scheduling and popping are amortized O(1) — the costs
+//! that made the previous `BinaryHeap` calendar the drivers' wall at million
+//! scale (O(log n) per op, plus an O(n) full-heap scan for trial prefetch)
+//! are gone. Two details matter for reproducibility, and both are preserved
+//! bit-for-bit from the heap implementation (which survives below as
+//! [`BinaryHeapEventQueue`], the reference oracle for the differential
+//! proptests in `tests/properties.rs`):
 //!
-//! 1. **Stable ordering.** Events scheduled for the same instant pop in the
-//!    order they were scheduled (FIFO), enforced by a monotonically
-//!    increasing sequence number. Without this, heap order would depend on
-//!    insertion history in ways that are easy to perturb and hard to debug.
+//! 1. **Stable ordering.** Events pop in `(time, seq)` order, where `seq` is
+//!    a monotonically increasing sequence number: same-instant events pop in
+//!    the order they were scheduled (FIFO). The wheel keeps this invariant
+//!    structurally — buckets are FIFO lists, a cascade drains its source
+//!    bucket front-to-back (so every child bucket receives a seq-increasing
+//!    subsequence), and a direct placement into some bucket always carries a
+//!    larger seq than anything a later cascade could add in front of it,
+//!    because cascades into that bucket's window happen *before* the cursor
+//!    enters the window and direct placements only after.
 //! 2. **Monotonic clock.** Popping an event advances the queue's notion of
 //!    `now`; scheduling strictly in the past is a logic error and panics in
 //!    debug builds (it is clamped to `now` in release builds).
+//!
+//! ## Layout
+//!
+//! An event at absolute time `t` lives at level `l` = the index of the
+//! most-significant byte in which `t` differs from the cursor (`now`), in
+//! slot `(t >> 8l) & 0xff`. Level-0 buckets are time-homogeneous (every
+//! entry shares one exact millisecond); higher-level buckets cover windows
+//! of `256^l` ms. When a pop finds level 0 empty it *cascades* the
+//! lowest-level first-occupied bucket: its entries re-distribute strictly
+//! downward (their shared high bytes become the new sub-cursor), so each
+//! event cascades at most 7 times over its whole life.
+//!
+//! Entries live in a slab (`Vec` + intrusive free list) and buckets are
+//! intrusive singly-linked lists, so steady-state churn — pop an event,
+//! schedule its successor — touches no allocator at all once the slab has
+//! reached its high-water mark. That property is load-bearing for the
+//! zero-alloc-per-trial driver guarantee (see `prop-core`'s
+//! `alloc_regression` test) and holds regardless of *which* buckets are in
+//! use, unlike a per-bucket `VecDeque` design where an idle bucket's first
+//! touch allocates.
 
 use crate::time::{Duration, SimTime};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+const LEVELS: usize = 8;
+const SLOTS: usize = 256;
+const SLOT_MASK: u64 = 0xff;
+const BUCKETS: usize = LEVELS * SLOTS;
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
 struct Key {
     time: SimTime,
     seq: u64,
 }
 
-struct Entry<E> {
+/// Bucket index for time `t` relative to `cursor`: the level is the
+/// most-significant differing byte, the slot is `t`'s byte at that level.
+/// `t == cursor` lands at level 0 (slot = low byte).
+#[inline]
+fn bucket_of(cursor: u64, t: u64) -> usize {
+    let diff = cursor ^ t;
+    if diff == 0 {
+        (t & SLOT_MASK) as usize
+    } else {
+        let level = (63 - diff.leading_zeros() as usize) / 8;
+        let slot = ((t >> (8 * level)) & SLOT_MASK) as usize;
+        level * SLOTS + slot
+    }
+}
+
+struct Node<E> {
     key: Key,
-    event: E,
+    /// `Some` while pending; `None` marks a slab slot on the free list.
+    event: Option<E>,
+    next: u32,
 }
 
-// Manual impls: `E` need not be Ord/Eq, ordering is entirely by `key`.
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.key == other.key
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.key.cmp(&other.key)
-    }
-}
-
-/// A deterministic pending-event set: a min-heap keyed by `(time, seq)`.
+/// A deterministic pending-event set: a hierarchical timer wheel keyed by
+/// `(time, seq)`.
 ///
 /// ```
 /// use prop_engine::{EventQueue, SimTime, Duration};
@@ -59,7 +97,14 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(q.pop(), Some((SimTime(25), "later")));
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
+    nodes: Vec<Node<E>>,
+    /// Head of the slab free list (`NIL` when the slab is full).
+    free: u32,
+    head: Box<[u32; BUCKETS]>,
+    tail: Box<[u32; BUCKETS]>,
+    /// One bit per bucket: 4 words × 64 bits = 256 slots per level.
+    occupancy: [[u64; 4]; LEVELS],
+    len: usize,
     now: SimTime,
     next_seq: u64,
 }
@@ -73,7 +118,16 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue with the clock at `t = 0`.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), now: SimTime::ZERO, next_seq: 0 }
+        EventQueue {
+            nodes: Vec::new(),
+            free: NIL,
+            head: Box::new([NIL; BUCKETS]),
+            tail: Box::new([NIL; BUCKETS]),
+            occupancy: [[0; 4]; LEVELS],
+            len: 0,
+            now: SimTime::ZERO,
+            next_seq: 0,
+        }
     }
 
     /// The current simulated instant — the timestamp of the last popped
@@ -84,6 +138,320 @@ impl<E> EventQueue<E> {
     }
 
     /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn set_occupied(&mut self, bucket: usize) {
+        self.occupancy[bucket >> 8][(bucket & 255) >> 6] |= 1 << (bucket & 63);
+    }
+
+    #[inline]
+    fn clear_occupied(&mut self, bucket: usize) {
+        self.occupancy[bucket >> 8][(bucket & 255) >> 6] &= !(1 << (bucket & 63));
+    }
+
+    /// Smallest occupied slot at `level`, if any.
+    #[inline]
+    fn first_occupied(&self, level: usize) -> Option<usize> {
+        for (w, &bits) in self.occupancy[level].iter().enumerate() {
+            if bits != 0 {
+                return Some(w * 64 + bits.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Lowest occupied (level, slot) above level 0.
+    fn first_occupied_high(&self) -> Option<(usize, usize)> {
+        (1..LEVELS).find_map(|l| self.first_occupied(l).map(|s| (l, s)))
+    }
+
+    fn alloc_node(&mut self, key: Key, event: E) -> u32 {
+        if self.free != NIL {
+            let idx = self.free;
+            let node = &mut self.nodes[idx as usize];
+            self.free = node.next;
+            node.key = key;
+            node.event = Some(event);
+            node.next = NIL;
+            idx
+        } else {
+            let idx = self.nodes.len() as u32;
+            assert!(idx != NIL, "event queue slab overflow");
+            self.nodes.push(Node { key, event: Some(event), next: NIL });
+            idx
+        }
+    }
+
+    /// Append node `idx` at the tail of `bucket` (FIFO).
+    fn link(&mut self, bucket: usize, idx: u32) {
+        self.nodes[idx as usize].next = NIL;
+        if self.head[bucket] == NIL {
+            self.head[bucket] = idx;
+            self.set_occupied(bucket);
+        } else {
+            let tail = self.tail[bucket];
+            self.nodes[tail as usize].next = idx;
+        }
+        self.tail[bucket] = idx;
+    }
+
+    /// Schedule `event` at absolute time `at`. Scheduling in the past is a
+    /// logic error: panics in debug builds, clamps to `now` in release.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        debug_assert!(at >= self.now, "scheduling into the past: {at:?} < {:?}", self.now);
+        let at = at.max(self.now);
+        let key = Key { time: at, seq: self.next_seq };
+        self.next_seq += 1;
+        let idx = self.alloc_node(key, event);
+        self.link(bucket_of(self.now.0, at.0), idx);
+        self.len += 1;
+    }
+
+    /// Schedule `event` a relative `delay` after `now`.
+    pub fn schedule_in(&mut self, delay: Duration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Timestamp of the next event without popping it.
+    ///
+    /// O(1) when level 0 is occupied (the common steady-state case);
+    /// otherwise a scan of the single lowest-window bucket, whose entries
+    /// the very next `pop` cascades anyway — amortized O(1) per pop.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        if self.len == 0 {
+            return None;
+        }
+        if let Some(slot) = self.first_occupied(0) {
+            let idx = self.head[slot];
+            return Some(self.nodes[idx as usize].key.time);
+        }
+        let (level, slot) = self.first_occupied_high().expect("non-empty queue has a bucket");
+        let mut idx = self.head[level * SLOTS + slot];
+        let mut min = u64::MAX;
+        while idx != NIL {
+            let node = &self.nodes[idx as usize];
+            min = min.min(node.key.time.0);
+            idx = node.next;
+        }
+        Some(SimTime(min))
+    }
+
+    /// Non-destructive view of every pending event, in **unspecified**
+    /// order (the slab's internal layout). For look-ahead that is
+    /// insensitive to ordering — not for dispatch. Prefer
+    /// [`EventQueue::pending_until`] when order or bounded work matters.
+    pub fn pending(&self) -> impl Iterator<Item = (SimTime, &E)> + '_ {
+        self.nodes.iter().filter_map(|n| n.event.as_ref().map(|e| (n.key.time, e)))
+    }
+
+    /// The next `k` pending events with `time <= deadline`, in exact
+    /// `(time, seq)` pop order, without popping anything.
+    ///
+    /// This is the bounded look-ahead the drivers use for trial prefetch:
+    /// O(k) plus the cost of ordering at most one coarse bucket, instead of
+    /// scanning the entire pending set. Level-0 buckets are already exact
+    /// (one instant, FIFO by seq); a higher-level bucket covers a window
+    /// disjoint from — and strictly earlier than — every bucket after it in
+    /// (level, slot) order, so a local sort per bucket yields the global
+    /// order.
+    pub fn pending_until(&self, deadline: SimTime, k: usize) -> Vec<(SimTime, &E)> {
+        let mut out = Vec::with_capacity(k.min(self.len));
+        if k == 0 || self.len == 0 {
+            return out;
+        }
+        let mut scratch: Vec<(Key, u32)> = Vec::new();
+        'levels: for level in 0..LEVELS {
+            let mut slot_base = 0usize;
+            for &word in &self.occupancy[level] {
+                let mut bits = word;
+                while bits != 0 {
+                    let slot = slot_base + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let bucket = level * SLOTS + slot;
+                    if level == 0 {
+                        // Homogeneous instant, list already seq-ordered.
+                        let mut idx = self.head[bucket];
+                        while idx != NIL {
+                            let node = &self.nodes[idx as usize];
+                            if node.key.time > deadline {
+                                break 'levels;
+                            }
+                            let ev = node.event.as_ref().expect("linked node is live");
+                            out.push((node.key.time, ev));
+                            if out.len() == k {
+                                break 'levels;
+                            }
+                            idx = node.next;
+                        }
+                    } else {
+                        scratch.clear();
+                        let mut idx = self.head[bucket];
+                        while idx != NIL {
+                            let node = &self.nodes[idx as usize];
+                            scratch.push((node.key, idx));
+                            idx = node.next;
+                        }
+                        scratch.sort_unstable_by_key(|&(key, _)| key);
+                        for &(key, idx) in &scratch {
+                            if key.time > deadline {
+                                break 'levels;
+                            }
+                            let ev = self.nodes[idx as usize].event.as_ref();
+                            out.push((key.time, ev.expect("linked node is live")));
+                            if out.len() == k {
+                                break 'levels;
+                            }
+                        }
+                    }
+                }
+                slot_base += 64;
+            }
+        }
+        out
+    }
+
+    /// Re-distribute every entry of high-level bucket `(level, slot)` one or
+    /// more levels down. All entries share their bytes at and above `level`,
+    /// so re-placing them relative to their common window base sends each
+    /// strictly below `level`. FIFO drain keeps each destination bucket
+    /// seq-ordered.
+    fn cascade(&mut self, level: usize, slot: usize) {
+        debug_assert!(level > 0);
+        let bucket = level * SLOTS + slot;
+        let mut idx = self.head[bucket];
+        debug_assert!(idx != NIL, "cascading an empty bucket");
+        self.head[bucket] = NIL;
+        self.tail[bucket] = NIL;
+        self.clear_occupied(bucket);
+        // The window base must come from the entries themselves, not from
+        // `now`: during a multi-step cascade the cursor's bytes below the
+        // original level are stale.
+        let shift = 8 * level;
+        let base = (self.nodes[idx as usize].key.time.0 >> shift) << shift;
+        while idx != NIL {
+            let next = self.nodes[idx as usize].next;
+            let t = self.nodes[idx as usize].key.time.0;
+            debug_assert_eq!(t >> shift << shift, base, "bucket entries share the window");
+            self.link(bucket_of(base, t), idx);
+            idx = next;
+        }
+    }
+
+    /// Pop the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            if let Some(slot) = self.first_occupied(0) {
+                // Any level-0 event precedes every higher-level event, and
+                // the smallest occupied slot is the earliest instant.
+                let idx = self.head[slot];
+                let next = self.nodes[idx as usize].next;
+                let key = self.nodes[idx as usize].key;
+                let event = self.nodes[idx as usize].event.take().expect("linked node is live");
+                self.head[slot] = next;
+                if next == NIL {
+                    self.tail[slot] = NIL;
+                    self.clear_occupied(slot);
+                }
+                self.nodes[idx as usize].next = self.free;
+                self.free = idx;
+                self.len -= 1;
+                self.now = key.time;
+                return Some((key.time, event));
+            }
+            let (level, slot) = self.first_occupied_high().expect("non-empty queue has a bucket");
+            self.cascade(level, slot);
+        }
+    }
+
+    /// Pop the earliest event only if it is scheduled at or before `deadline`.
+    /// The clock never advances past `deadline` through this method, so a
+    /// driver can interleave externally-clocked work at a fixed cadence.
+    pub fn pop_until(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        match self.peek_time() {
+            Some(t) if t <= deadline => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Drop every pending event, keeping the clock where it is.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.free = NIL;
+        self.head.fill(NIL);
+        self.tail.fill(NIL);
+        self.occupancy = [[0; 4]; LEVELS];
+        self.len = 0;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference implementation
+// ---------------------------------------------------------------------------
+
+struct HeapEntry<E> {
+    key: Key,
+    event: E,
+}
+
+// Manual impls: `E` need not be Ord/Eq, ordering is entirely by `key`.
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for HeapEntry<E> {}
+impl<E> PartialOrd for HeapEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for HeapEntry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// The pre-wheel `BinaryHeap` calendar, kept as the **reference oracle**:
+/// the differential proptests in `tests/properties.rs` drive it and
+/// [`EventQueue`] through identical schedules and require bit-identical pop
+/// traces, which is what lets the drivers swap queues without re-validating
+/// a single simulation result. O(log n) per op — do not use it on hot
+/// paths; it exists to keep the wheel honest.
+pub struct BinaryHeapEventQueue<E> {
+    heap: BinaryHeap<Reverse<HeapEntry<E>>>,
+    now: SimTime,
+    next_seq: u64,
+}
+
+impl<E> Default for BinaryHeapEventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> BinaryHeapEventQueue<E> {
+    /// An empty queue with the clock at `t = 0`.
+    pub fn new() -> Self {
+        BinaryHeapEventQueue { heap: BinaryHeap::new(), now: SimTime::ZERO, next_seq: 0 }
+    }
+
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
     #[inline]
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -101,7 +469,7 @@ impl<E> EventQueue<E> {
         let at = at.max(self.now);
         let key = Key { time: at, seq: self.next_seq };
         self.next_seq += 1;
-        self.heap.push(Reverse(Entry { key, event }));
+        self.heap.push(Reverse(HeapEntry { key, event }));
     }
 
     /// Schedule `event` a relative `delay` after `now`.
@@ -114,12 +482,23 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|e| e.0.key.time)
     }
 
-    /// Non-destructive view of every pending event, in **unspecified**
-    /// order (the heap's internal layout). For look-ahead that is
-    /// insensitive to ordering — e.g. a driver prefetching latency rows for
-    /// the slots its next batch of events will touch — not for dispatch.
+    /// Non-destructive view of every pending event, in **unspecified** order.
     pub fn pending(&self) -> impl Iterator<Item = (SimTime, &E)> + '_ {
         self.heap.iter().map(|Reverse(e)| (e.key.time, &e.event))
+    }
+
+    /// The next `k` events with `time <= deadline` in `(time, seq)` order —
+    /// same contract as [`EventQueue::pending_until`], realized by a full
+    /// sort (this is the reference, not the fast path).
+    pub fn pending_until(&self, deadline: SimTime, k: usize) -> Vec<(SimTime, &E)> {
+        let mut all: Vec<(Key, &E)> =
+            self.heap.iter().map(|Reverse(e)| (e.key, &e.event)).collect();
+        all.sort_unstable_by_key(|&(key, _)| key);
+        all.into_iter()
+            .take_while(|&(key, _)| key.time <= deadline)
+            .take(k)
+            .map(|(key, e)| (key.time, e))
+            .collect()
     }
 
     /// Pop the earliest event, advancing the clock to its timestamp.
@@ -130,8 +509,6 @@ impl<E> EventQueue<E> {
     }
 
     /// Pop the earliest event only if it is scheduled at or before `deadline`.
-    /// The clock never advances past `deadline` through this method, so a
-    /// driver can interleave externally-clocked work at a fixed cadence.
     pub fn pop_until(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
         match self.peek_time() {
             Some(t) if t <= deadline => self.pop(),
@@ -248,5 +625,61 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.now(), SimTime(7));
+    }
+
+    #[test]
+    fn far_events_cascade_correctly() {
+        // Delays spanning several wheel levels still pop in exact order.
+        let mut q = EventQueue::new();
+        let times = [
+            3u64,
+            255,
+            256,
+            300_000,        // level 2 from t = 0
+            70_000_000,     // level 3
+            20_000_000_000, // level 4
+            u64::MAX / 2,   // level 7
+        ];
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(SimTime(t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, e)) = q.pop() {
+            popped.push((t.0, e));
+        }
+        let expected: Vec<_> = times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        assert_eq!(popped, expected);
+    }
+
+    #[test]
+    fn pending_until_is_ordered_and_bounded() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(300_000), "far");
+        q.schedule_at(SimTime(20), "b");
+        q.schedule_at(SimTime(10), "a");
+        q.schedule_at(SimTime(20), "c"); // same instant as b, later seq
+        let next: Vec<_> = q.pending_until(SimTime(1_000_000), 3);
+        assert_eq!(next, vec![(SimTime(10), &"a"), (SimTime(20), &"b"), (SimTime(20), &"c")]);
+        // Deadline cuts the look-ahead short even when k would allow more.
+        let next: Vec<_> = q.pending_until(SimTime(25), 10);
+        assert_eq!(next.len(), 3);
+        assert_eq!(q.len(), 4, "pending_until must not consume");
+    }
+
+    #[test]
+    fn slab_is_reused_after_pops() {
+        // Steady-state churn keeps the slab at its high-water mark instead
+        // of growing: the free list recycles popped nodes.
+        let mut q = EventQueue::new();
+        for i in 0..16u64 {
+            q.schedule_at(SimTime(i), i);
+        }
+        let high_water = q.nodes.len();
+        for round in 0..100u64 {
+            let (t, _) = q.pop().unwrap();
+            q.schedule_at(t + Duration(16 + round % 7), round);
+            assert_eq!(q.nodes.len(), high_water, "slab grew during steady churn");
+        }
+        assert_eq!(q.len(), 16);
     }
 }

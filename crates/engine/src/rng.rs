@@ -85,6 +85,27 @@ impl SimRng {
         (len > 0).then(|| self.inner.gen_range(0..len))
     }
 
+    /// Uniformly pick a *rank* in `0..len`, consuming the stream exactly as
+    /// [`SimRng::pick`] does on a slice of length `len`.
+    ///
+    /// `rand 0.8`'s `SliceRandom::choose` draws a `u32` range when the slice
+    /// fits in one (it always does here), which is a *different* stream than
+    /// `pick_index`'s `usize` draw. Callers replacing a materialized
+    /// `collect() + pick(&v)` with an index structure (the drivers'
+    /// live-slot rank select, DESIGN §16) must use this helper to keep the
+    /// run bit-identical to the allocating form.
+    #[inline]
+    pub fn pick_rank(&mut self, len: usize) -> Option<usize> {
+        if len == 0 {
+            return None;
+        }
+        Some(if len <= u32::MAX as usize {
+            self.inner.gen_range(0..len as u32) as usize
+        } else {
+            self.inner.gen_range(0..len)
+        })
+    }
+
     /// Fisher–Yates shuffle in place.
     #[inline]
     pub fn shuffle<T>(&mut self, xs: &mut [T]) {
@@ -213,5 +234,24 @@ mod tests {
         let empty: [u8; 0] = [];
         assert!(rng.pick(&empty).is_none());
         assert!(rng.pick_index(0).is_none());
+        assert!(rng.pick_rank(0).is_none());
+    }
+
+    #[test]
+    fn pick_rank_consumes_identically_to_pick() {
+        // The whole point of pick_rank: same state + same length ⇒ the same
+        // element `pick` would have chosen, and the streams stay in lockstep
+        // afterwards.
+        for len in [1usize, 2, 3, 7, 100, 4096] {
+            let xs: Vec<usize> = (0..len).collect();
+            let mut a = SimRng::seed_from(17 ^ len as u64);
+            let mut b = a.clone();
+            for _ in 0..50 {
+                let picked = *a.pick(&xs).unwrap();
+                let rank = b.pick_rank(len).unwrap();
+                assert_eq!(picked, rank, "len {len}");
+            }
+            assert_eq!(a.range(0u64..u64::MAX), b.range(0u64..u64::MAX), "streams diverged");
+        }
     }
 }

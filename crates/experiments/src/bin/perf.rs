@@ -20,6 +20,11 @@ use prop_experiments::Scale;
 use std::fs;
 use std::process::ExitCode;
 
+/// Count heap allocations so the report's `allocs_per_trial` is real here
+/// (library tests have no global allocator hook and record 0).
+#[global_allocator]
+static ALLOC: prop_engine::CountingAllocator = prop_engine::CountingAllocator;
+
 fn main() -> ExitCode {
     let mut scales = vec![Scale::Quick, Scale::Paper];
     let mut reprs = vec![Repr::Csr, Repr::Vecvec];
@@ -73,6 +78,11 @@ fn main() -> ExitCode {
             m.oracle_embed_ns,
             m.oracle_embed_cold_speedup
         );
+        println!(
+            "  queue       {:>12.1} ns/schedule   {:>12.0} events/s (pop+reschedule)",
+            m.driver_sched_ns, m.driver_events_per_sec
+        );
+        println!("  allocs      {:>12.2} per steady-state trial", m.allocs_per_trial);
     }
 
     match serde_json::to_string_pretty(&report) {

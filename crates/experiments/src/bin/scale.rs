@@ -19,15 +19,18 @@
 //! ```text
 //! cargo run --release -p prop-experiments --bin scale [--quick] [--seed N]
 //!     [--oracle-tier auto|dense|cached|embedded] [--million]
+//!     [--n N] [--budget-secs S]
 //! ```
 //!
 //! `--oracle-tier` pins the oracle tier instead of letting the member
 //! count choose — the axis for comparing the row-cache and the
 //! coordinate-embedded paths on identical workloads. `--million` appends a
-//! 1,000,000-member entry: the query storm runs on whatever tier the
-//! config picks (embedded, under `auto`), and the PROP warm-up stage is
-//! skipped above [`WARMUP_MAX_MEMBERS`] members — the overlay drivers are
-//! built for protocol fidelity, not million-node wall-clock.
+//! 1,000,000-member entry; the PROP warm-up runs at *every* size now that
+//! the drivers' hot path is O(1) per event (timer-wheel queue, zero-alloc
+//! trials, cached δ(G)) — the EXPERIMENTS S5 table is this binary's
+//! output. `--n N` replaces the size ladder with the single size N;
+//! `--budget-secs S` makes the run exit non-zero if its total wall clock
+//! exceeds S seconds (the CI driver-scale-smoke gate).
 //!
 //! Useful for sizing reproduction runs; not a paper figure. Wall-clock
 //! numbers are machine-dependent by nature; the 100k paper-scale run is
@@ -48,10 +51,6 @@ use std::time::Instant;
 
 /// Hard cap on oracle cache memory — the headline claim of this binary.
 const CACHE_CAP_BYTES: usize = 512 << 20;
-
-/// Largest membership the PROP warm-up stage runs at; beyond it only the
-/// query storm executes (see the module docs on `--million`).
-const WARMUP_MAX_MEMBERS: usize = 200_000;
 
 #[derive(Serialize)]
 struct SizeReport {
@@ -83,11 +82,13 @@ struct WarmupReport {
     cache: OracleCacheReport,
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let mut scale = Scale::Paper;
     let mut seed = 1u64;
     let mut tier = OracleTier::Auto;
     let mut million = false;
+    let mut single_n: Option<usize> = None;
+    let mut budget_secs: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -102,6 +103,17 @@ fn main() {
                 });
             }
             "--million" => million = true,
+            "--n" => {
+                single_n =
+                    Some(args.next().and_then(|s| s.parse().ok()).expect("--n needs an integer"));
+            }
+            "--budget-secs" => {
+                budget_secs = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--budget-secs needs an integer"),
+                );
+            }
             other => panic!("unknown flag {other}"),
         }
     }
@@ -112,13 +124,27 @@ fn main() {
     if million {
         sizes.push(1_000_000);
     }
+    if let Some(n) = single_n {
+        sizes = vec![n];
+    }
     let cfg = tier.config(CACHE_CAP_BYTES);
 
+    let start = Instant::now();
     let mut reports = Vec::new();
     for n in sizes {
         reports.push(run_size(n, queries, sim_minutes, &cfg, seed));
     }
     write_json("scale", &reports);
+
+    if let Some(budget) = budget_secs {
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed > budget as f64 {
+            eprintln!("WALL-CLOCK BUDGET EXCEEDED: run took {elapsed:.0} s, budget {budget} s");
+            return std::process::ExitCode::FAILURE;
+        }
+        println!("wall-clock budget OK: {elapsed:.0} s <= {budget} s");
+    }
+    std::process::ExitCode::SUCCESS
 }
 
 fn run_size(
@@ -216,29 +242,12 @@ fn run_size(
         );
     }
 
-    // Stage 2: PROP warm-up over the same oracle. Skipped above
-    // WARMUP_MAX_MEMBERS: the drivers run full protocol fidelity per node,
-    // which at a million members is an offline-study workload, not a
-    // sizing probe.
+    // Stage 2: PROP warm-up over the same oracle — at every size,
+    // including a million members: with the timer-wheel queue and the
+    // zero-alloc trial loop the drivers' per-event cost is O(1), so the
+    // wall clock scales with the event count, not the population (the
+    // EXPERIMENTS S5 row this run prints).
     let mut warmups = Vec::new();
-    if n > WARMUP_MAX_MEMBERS {
-        println!("(skipping PROP warm-up at n = {n} > {WARMUP_MAX_MEMBERS})");
-        return SizeReport {
-            members: n,
-            phys_hosts: phys.num_nodes(),
-            phys_links: phys.num_links(),
-            tier: oracle.tier(),
-            topo_ms,
-            oracle_build_ms,
-            queries,
-            query_ms,
-            queries_per_sec: queries as f64 / (query_ms / 1e3),
-            mean_query_latency_ms,
-            query_cache,
-            query_embed,
-            warmups,
-        };
-    }
     for (label, policy) in [("PROP-G", PropConfig::prop_g()), ("PROP-O", PropConfig::prop_o())] {
         let mut wrng = rng.fork(label);
         let (_gn, net) = Gnutella::build(GnutellaParams::default(), Arc::clone(&oracle), &mut wrng);

@@ -33,7 +33,7 @@
 
 use crate::setup::{OracleTier, Scale, Scenario, Topology};
 use prop_core::{PropConfig, ProtocolSim};
-use prop_engine::{Duration, SimRng};
+use prop_engine::{allocation_count, counting_active, Duration, EventQueue, SimRng, SimTime};
 use prop_metrics::{avg_lookup_latency, par_avg_lookup_latency};
 use prop_netsim::{generate, LatencyOracle, OracleConfig};
 use prop_overlay::gnutella::{Gnutella, GnutellaParams};
@@ -151,6 +151,23 @@ pub struct PerfMetrics {
     /// `oracle_cached_cold_ns / oracle_embed_ns`.
     #[serde(default)]
     pub oracle_embed_cold_speedup: f64,
+    /// ns per `schedule_at` on the timer-wheel event queue (bulk fill over
+    /// mixed-magnitude delays). Like the oracle fields, the queue and
+    /// allocation fields default to 0 so older baselines still load, and 0
+    /// is record-only under `--check`.
+    #[serde(default)]
+    pub driver_sched_ns: f64,
+    /// Events per wall-clock second through a driver-shaped pop+reschedule
+    /// loop on the event queue (every pop reschedules on the probe backoff
+    /// lattice).
+    #[serde(default)]
+    pub driver_events_per_sec: f64,
+    /// Heap allocations per steady-state driver trial, measured over a
+    /// post-horizon window of stage 1's simulation. 0.0 when the binary
+    /// installs no counting allocator (the library test harness does not;
+    /// the `perf` binary does).
+    #[serde(default)]
+    pub allocs_per_trial: f64,
 }
 
 /// Per-tier ns-per-query over one identical random-pair workload.
@@ -250,6 +267,21 @@ pub fn run_metrics(
     sim.run_for(horizon);
     let driver_secs = t.elapsed().as_secs_f64().max(1e-9);
     let driver_trials = sim.overhead().trials;
+
+    // Stage 1b: allocations per steady-state trial, over a quarter-horizon
+    // window appended to the same simulation (buffers are at their
+    // high-water marks by now). Reads 0 unless the binary installed the
+    // counting allocator. The window runs unconditionally so the overlay
+    // the lookup stages see does not depend on which binary measured it.
+    let trials_before = sim.overhead().trials;
+    let allocs_before = allocation_count();
+    sim.run_for(Duration::from_millis((horizon.as_millis() / 4).max(1)));
+    let window_trials = sim.overhead().trials - trials_before;
+    let allocs_per_trial = if counting_active() && window_trials > 0 {
+        (allocation_count() - allocs_before) as f64 / window_trials as f64
+    } else {
+        0.0
+    };
     let net = sim.into_net();
 
     // Stage 2: serial vs parallel lookup throughput on identical work.
@@ -293,6 +325,9 @@ pub fn run_metrics(
     // Stage 5: the per-tier oracle microbench on one identical workload.
     let tiers = oracle_tier_bench(topo, n, lookups, seed);
 
+    // Stage 6: the event-queue microbench, sized with the population.
+    let (driver_sched_ns, driver_events_per_sec) = queue_bench((8 * n).clamp(4_096, 500_000), seed);
+
     PerfMetrics {
         driver_trials_per_sec: driver_trials as f64 / driver_secs,
         driver_trials,
@@ -309,7 +344,42 @@ pub fn run_metrics(
         oracle_cached_warm_ns: tiers.cached_warm_ns,
         oracle_embed_ns: tiers.embed_ns,
         oracle_embed_cold_speedup: tiers.cached_cold_ns / tiers.embed_ns.max(f64::MIN_POSITIVE),
+        driver_sched_ns,
+        driver_events_per_sec,
+        allocs_per_trial,
     }
+}
+
+/// Time the timer-wheel event queue in isolation: (1) ns per `schedule_at`
+/// while bulk-filling `n_events` events at mixed-magnitude delays (sub-slot
+/// through multi-level, exercising direct placement into every wheel
+/// level), then (2) events per second through a driver-shaped loop where
+/// every pop reschedules its event on the probe backoff lattice — the
+/// access pattern `run_until` generates at million scale, cascades
+/// included.
+pub fn queue_bench(n_events: usize, seed: u64) -> (f64, f64) {
+    let mut rng = SimRng::seed_from(seed ^ 0x51ab_51ab);
+    let delays: Vec<u64> = (0..n_events.max(1)).map(|_| rng.range(0..7_200_000)).collect();
+    let mut q: EventQueue<u32> = EventQueue::new();
+    let t = Instant::now();
+    for (i, &d) in delays.iter().enumerate() {
+        q.schedule_at(SimTime(d), i as u32);
+    }
+    let sched_ns = t.elapsed().as_secs_f64() * 1e9 / delays.len() as f64;
+
+    // The paper's probe intervals: 2^k minutes, k ≤ 5.
+    let lattice: [u64; 6] = [60_000, 120_000, 240_000, 480_000, 960_000, 1_920_000];
+    let ops = 4 * delays.len();
+    let t = Instant::now();
+    let mut count = 0u64;
+    for _ in 0..ops {
+        let Some((at, ev)) = q.pop() else { break };
+        count += 1;
+        q.schedule_at(at + Duration(lattice[ev as usize % lattice.len()]), ev);
+    }
+    std::hint::black_box(q.len());
+    let secs = t.elapsed().as_secs_f64().max(1e-9);
+    (sched_ns, count as f64 / secs)
 }
 
 /// Time one pass of `queries` random `d(u,v)` calls on every tier, built
@@ -461,6 +531,11 @@ mod tests {
         assert!(m.oracle_cached_warm_ns > 0.0);
         assert!(m.oracle_embed_ns > 0.0);
         assert!(m.oracle_embed_cold_speedup > 0.0);
+        assert!(m.driver_sched_ns > 0.0);
+        assert!(m.driver_events_per_sec > 0.0);
+        // The library test harness installs no counting allocator, so the
+        // allocation probe must report the record-only 0.
+        assert_eq!(m.allocs_per_trial, 0.0);
         assert!(
             m.oracle_cached_warm_ns <= m.oracle_cached_cold_ns * 1.5,
             "warm {} vs cold {}",
@@ -516,6 +591,9 @@ mod tests {
                     oracle_cached_warm_ns: 20.0,
                     oracle_embed_ns: 15.0,
                     oracle_embed_cold_speedup: 1000.0 / 15.0,
+                    driver_sched_ns: 50.0,
+                    driver_events_per_sec: 1e7,
+                    allocs_per_trial: 0.0,
                 },
             }],
         }

@@ -42,6 +42,7 @@ pub use csr::{Adjacency, CsrView};
 pub use logical::{GraphPatch, LogicalGraph, Slot};
 pub use net::{FloodScratch, OverlayNet};
 pub use placement::Placement;
+pub use walk::{WalkPath, WalkScratch};
 
 /// A routed lookup's outcome: total latency in ms (links + per-hop
 /// processing) and the number of overlay hops taken.

@@ -53,6 +53,82 @@ pub enum GraphPatch {
 /// replays incrementally.
 pub const MAX_PATCH_LOG: usize = 4096;
 
+/// Fenwick (binary indexed) tree over the alive bits, giving O(log n)
+/// rank (`prefix`) and select-by-rank over the live-slot set. This is what
+/// lets the drivers' `ProbeMode::Random` draw a uniform live counterpart
+/// without materializing `live_slots().collect()` on every trial.
+#[derive(Clone, Debug, Default)]
+struct LiveIndex {
+    /// 1-indexed Fenwick array; `tree[i-1]` covers `(i - lowbit(i), i]`.
+    tree: Vec<usize>,
+}
+
+impl LiveIndex {
+    /// Index over `n` slots, all alive. O(n): for an all-ones array every
+    /// Fenwick node's partial sum is exactly the width of its range.
+    fn with_ones(n: usize) -> Self {
+        let mut tree = vec![0usize; n];
+        for (j, v) in tree.iter_mut().enumerate() {
+            let i = j + 1;
+            *v = i & i.wrapping_neg();
+        }
+        LiveIndex { tree }
+    }
+
+    /// Append one more slot with the given alive bit.
+    fn append(&mut self, alive: bool) {
+        let i = self.tree.len() + 1;
+        let low = i & i.wrapping_neg();
+        // The new node covers (i-low, i]; seed it with the ones already in
+        // (i-low, i-1] plus the appended bit.
+        let below = self.prefix(i - 1) - self.prefix(i - low);
+        self.tree.push(below + alive as usize);
+    }
+
+    /// Flip the bit at 0-based `idx` by `delta` (+1 revive, -1 kill).
+    fn add(&mut self, idx: usize, delta: isize) {
+        let mut i = idx + 1;
+        while i <= self.tree.len() {
+            let v = &mut self.tree[i - 1];
+            *v = (*v as isize + delta) as usize;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Ones among the first `count` slots (0-based exclusive prefix).
+    fn prefix(&self, count: usize) -> usize {
+        let mut i = count;
+        let mut sum = 0;
+        while i > 0 {
+            sum += self.tree[i - 1];
+            i &= i - 1;
+        }
+        sum
+    }
+
+    /// 0-based index of the `(k+1)`-th one, `None` if there are ≤ k ones.
+    /// Binary-lifting descent: find the largest `pos` with
+    /// `prefix(pos) < k+1`; the answer is then `pos` itself (0-based).
+    fn select(&self, k: usize) -> Option<usize> {
+        let n = self.tree.len();
+        if n == 0 {
+            return None;
+        }
+        let mut rem = k + 1;
+        let mut pos = 0usize;
+        let mut step = 1usize << (usize::BITS - 1 - n.leading_zeros());
+        while step > 0 {
+            let next = pos + step;
+            if next <= n && self.tree[next - 1] < rem {
+                rem -= self.tree[next - 1];
+                pos = next;
+            }
+            step >>= 1;
+        }
+        (pos < n).then_some(pos)
+    }
+}
+
 /// Undirected adjacency over slots.
 #[derive(Clone, Debug, Default)]
 pub struct LogicalGraph {
@@ -69,6 +145,16 @@ pub struct LogicalGraph {
     log: Vec<GraphPatch>,
     /// Generation just before `log[0]` was applied.
     log_base: u64,
+    /// Degree histogram over **live** slots: `deg_count[d]` = live slots of
+    /// degree `d` (trailing zeros allowed). Maintained by every mutator so
+    /// δ(G) is O(1) instead of a full rescan per churn event.
+    deg_count: Vec<usize>,
+    /// Smallest `d` with `deg_count[d] > 0`; meaningful only while
+    /// `num_live > 0`. Decreases are set directly; increases advance by a
+    /// forward scan, amortized O(1) per mutation.
+    min_deg: usize,
+    /// Rank/select structure over the alive bits.
+    live_index: LiveIndex,
 }
 
 impl LogicalGraph {
@@ -82,6 +168,34 @@ impl LogicalGraph {
             generation: 0,
             log: Vec::new(),
             log_base: 0,
+            deg_count: if n > 0 { vec![n] } else { Vec::new() },
+            min_deg: 0,
+            live_index: LiveIndex::with_ones(n),
+        }
+    }
+
+    /// Move one live slot from degree `from` to degree `to` in the
+    /// histogram, keeping the cached minimum exact.
+    fn shift_degree(&mut self, from: usize, to: usize) {
+        self.deg_count[from] -= 1;
+        if self.deg_count.len() <= to {
+            self.deg_count.resize(to + 1, 0);
+        }
+        self.deg_count[to] += 1;
+        if to < self.min_deg {
+            self.min_deg = to;
+        }
+        self.fix_min_degree();
+    }
+
+    /// Advance the cached minimum past emptied histogram cells.
+    fn fix_min_degree(&mut self) {
+        if self.num_live == 0 {
+            self.min_deg = 0;
+            return;
+        }
+        while self.deg_count[self.min_deg] == 0 {
+            self.min_deg += 1;
         }
     }
 
@@ -142,6 +256,12 @@ impl LogicalGraph {
         self.adj.push(Vec::new());
         self.alive.push(true);
         self.num_live += 1;
+        self.live_index.append(true);
+        if self.deg_count.is_empty() {
+            self.deg_count.push(0);
+        }
+        self.deg_count[0] += 1;
+        self.min_deg = 0;
         self.record(GraphPatch::AddSlot);
         s
     }
@@ -158,9 +278,27 @@ impl LogicalGraph {
     }
 
     /// Minimum degree over live slots — the paper's δ(G), the default PROP-O
-    /// exchange size `m`. `None` when there are no live slots.
+    /// exchange size `m`. `None` when there are no live slots. O(1): reads
+    /// the histogram-backed cache instead of rescanning every live slot,
+    /// which `refresh_m_default` does once per churn event in both drivers.
     pub fn min_degree(&self) -> Option<usize> {
-        self.live_slots().map(|s| self.degree(s)).min()
+        (self.num_live > 0).then_some(self.min_deg)
+    }
+
+    /// `s`'s rank in `live_slots()` iteration order: the number of live
+    /// slots with a smaller index. O(log n).
+    #[inline]
+    pub fn live_rank(&self, s: Slot) -> usize {
+        self.live_index.prefix(s.index())
+    }
+
+    /// The live slot at rank `k` of `live_slots()` order (ascending index),
+    /// `None` when `k >= num_live()`. O(log n) select-by-rank — together
+    /// with [`LogicalGraph::live_rank`] this replaces the per-trial
+    /// `live_slots().collect()` in the drivers' `ProbeMode::Random`.
+    #[inline]
+    pub fn live_slot_at_rank(&self, k: usize) -> Option<Slot> {
+        self.live_index.select(k).map(|i| Slot(i as u32))
     }
 
     /// Mean degree over live slots — the paper's `c` in the overhead model.
@@ -188,6 +326,9 @@ impl LogicalGraph {
         let pos_b = self.adj[b.index()].binary_search(&a).unwrap_err();
         self.adj[b.index()].insert(pos_b, a);
         self.num_edges += 1;
+        let (da, db) = (self.adj[a.index()].len(), self.adj[b.index()].len());
+        self.shift_degree(da - 1, da);
+        self.shift_degree(db - 1, db);
         self.record(GraphPatch::AddEdge(a, b));
     }
 
@@ -200,6 +341,9 @@ impl LogicalGraph {
         let pos_b = self.adj[b.index()].binary_search(&a).expect("asymmetric adjacency");
         self.adj[b.index()].remove(pos_b);
         self.num_edges -= 1;
+        let (da, db) = (self.adj[a.index()].len(), self.adj[b.index()].len());
+        self.shift_degree(da + 1, da);
+        self.shift_degree(db + 1, db);
         self.record(GraphPatch::RemoveEdge(a, b));
     }
 
@@ -211,11 +355,18 @@ impl LogicalGraph {
         for &n in &neighbors {
             let pos = self.adj[n.index()].binary_search(&s).expect("asymmetric adjacency");
             self.adj[n.index()].remove(pos);
+            let dn = self.adj[n.index()].len();
+            self.shift_degree(dn + 1, dn);
             self.record(GraphPatch::RemoveEdge(s, n));
         }
         self.num_edges -= neighbors.len();
         self.alive[s.index()] = false;
         self.num_live -= 1;
+        self.live_index.add(s.index(), -1);
+        // `s` exits the live population at its pre-removal degree: its cell
+        // was left untouched by the neighbor shifts above.
+        self.deg_count[neighbors.len()] -= 1;
+        self.fix_min_degree();
         self.record(GraphPatch::KillSlot(s));
         neighbors
     }
@@ -394,6 +545,58 @@ mod tests {
         assert_eq!(g.num_live(), 5);
         // The counter must agree with the scan it replaced.
         assert_eq!(g.num_live(), g.live_slots().count());
+    }
+
+    /// The O(1) cached δ(G) must agree with the scan it replaced after
+    /// every kind of mutation, including the ones that empty or extend the
+    /// histogram.
+    #[test]
+    fn min_degree_cache_matches_scan_through_mutations() {
+        let scan_min = |g: &LogicalGraph| g.live_slots().map(|s| g.degree(s)).min();
+        let mut g = LogicalGraph::new(6);
+        assert_eq!(g.min_degree(), scan_min(&g));
+        for i in 1..6 {
+            g.add_edge(Slot(i - 1), Slot(i));
+            assert_eq!(g.min_degree(), scan_min(&g), "after edge {i}");
+        }
+        g.add_edge(Slot(0), Slot(5)); // close the ring: min rises to 2
+        assert_eq!(g.min_degree(), Some(2));
+        assert_eq!(g.min_degree(), scan_min(&g));
+        g.remove_edge(Slot(2), Slot(3)); // min drops back to 1
+        assert_eq!(g.min_degree(), Some(1));
+        g.remove_slot(Slot(2)); // unique min-holder leaves
+        assert_eq!(g.min_degree(), scan_min(&g));
+        let s = g.add_slot(); // fresh isolated slot: min is 0
+        assert_eq!(g.min_degree(), Some(0));
+        g.add_edge(s, Slot(0));
+        assert_eq!(g.min_degree(), scan_min(&g));
+        loop {
+            let Some(v) = g.live_slots().next() else { break };
+            g.remove_slot(v);
+            assert_eq!(g.min_degree(), scan_min(&g), "during teardown");
+        }
+        assert_eq!(g.min_degree(), None);
+    }
+
+    /// Rank/select over the alive set matches `live_slots()` order exactly,
+    /// across kills and appended slots.
+    #[test]
+    fn live_rank_select_matches_iteration_order() {
+        let mut g = LogicalGraph::new(9);
+        g.remove_slot(Slot(3));
+        g.remove_slot(Slot(0));
+        g.remove_slot(Slot(7));
+        let s = g.add_slot();
+        assert_eq!(s, Slot(9));
+        let live: Vec<Slot> = g.live_slots().collect();
+        assert_eq!(live.len(), g.num_live());
+        for (k, &slot) in live.iter().enumerate() {
+            assert_eq!(g.live_rank(slot), k, "rank of {slot:?}");
+            assert_eq!(g.live_slot_at_rank(k), Some(slot), "select {k}");
+        }
+        assert_eq!(g.live_slot_at_rank(live.len()), None);
+        // Rank of a dead slot counts live predecessors, same as the scan.
+        assert_eq!(g.live_rank(Slot(3)), 2);
     }
 
     #[test]

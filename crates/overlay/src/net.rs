@@ -14,7 +14,7 @@
 use crate::csr::{Adjacency, CsrView};
 use crate::logical::{LogicalGraph, Slot};
 use crate::placement::Placement;
-use crate::walk::{random_walk, WalkPath};
+use crate::walk::{random_walk, random_walk_into, WalkPath, WalkScratch};
 use prop_engine::SimRng;
 use prop_netsim::oracle::MemberIdx;
 use prop_netsim::LatencyOracle;
@@ -284,6 +284,23 @@ impl OverlayNet {
         match self.csr() {
             Some(view) => random_walk(view, origin, first_hop, nhops, rng),
             None => random_walk(&self.graph, origin, first_hop, nhops, rng),
+        }
+    }
+
+    /// [`OverlayNet::probe_walk`] into a caller-owned [`WalkScratch`] — the
+    /// drivers' zero-alloc steady-state form. The result is read back via
+    /// `scratch.walk()`; RNG consumption is bit-identical to `probe_walk`.
+    pub fn probe_walk_into(
+        &self,
+        origin: Slot,
+        first_hop: Slot,
+        nhops: u32,
+        rng: &mut SimRng,
+        scratch: &mut WalkScratch,
+    ) {
+        match self.csr() {
+            Some(view) => random_walk_into(view, origin, first_hop, nhops, rng, scratch),
+            None => random_walk_into(&self.graph, origin, first_hop, nhops, rng, scratch),
         }
     }
 

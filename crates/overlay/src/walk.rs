@@ -16,7 +16,7 @@ use prop_engine::SimRng;
 /// Result of a probe walk: `path[0]` is the origin, `path.last()` the
 /// counterpart. `path.len() == nhops + 1` when the walk completed; shorter
 /// if it got stuck (every neighbor already visited).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct WalkPath {
     pub path: Vec<Slot>,
 }
@@ -35,12 +35,51 @@ impl WalkPath {
     }
 }
 
+/// Reusable buffers for probe walks: the walk path itself plus the per-hop
+/// candidate list. A driver owns one scratch for its whole lifetime, so the
+/// steady-state trial loop performs **zero heap allocations** once both
+/// buffers have reached their high-water capacity (pinned by prop-core's
+/// `alloc_regression` test). Mirrors the `FloodScratch` idiom in
+/// [`crate::net`].
+#[derive(Debug, Default)]
+pub struct WalkScratch {
+    walk: WalkPath,
+    candidates: Vec<Slot>,
+}
+
+impl WalkScratch {
+    pub fn new() -> Self {
+        WalkScratch { walk: WalkPath { path: Vec::new() }, candidates: Vec::new() }
+    }
+
+    /// The walk produced by the last [`random_walk_into`] call.
+    #[inline]
+    pub fn walk(&self) -> &WalkPath {
+        &self.walk
+    }
+
+    /// Overwrite the scratch with the two-node path `[origin, counterpart]`
+    /// — the shape `ProbeMode::Random` trials use, kept allocation-free
+    /// through the same buffer.
+    pub fn set_pair(&mut self, origin: Slot, counterpart: Slot) {
+        self.walk.path.clear();
+        self.walk.path.push(origin);
+        self.walk.path.push(counterpart);
+    }
+}
+
 /// Walk `nhops` hops from `origin`, entering via `first_hop` (which must be
 /// a neighbor of `origin`). Later hops are uniform over unvisited neighbors.
 ///
 /// Generic over [`Adjacency`]: both representations present identical
 /// sorted neighbor slices, so the candidate order — and therefore the RNG
 /// consumption and the resulting trace — is bit-identical between them.
+///
+/// Allocation-free façade users: this builds a fresh scratch per call. Hot
+/// paths hold a [`WalkScratch`] and call [`random_walk_into`] instead; the
+/// two consume the RNG identically ([`SimRng::pick`] draws by candidate
+/// *length*, which both forms present the same way), so swapping one for
+/// the other never perturbs a seeded run.
 pub fn random_walk(
     g: &impl Adjacency,
     origin: Slot,
@@ -48,18 +87,35 @@ pub fn random_walk(
     nhops: u32,
     rng: &mut SimRng,
 ) -> WalkPath {
+    let mut scratch = WalkScratch::new();
+    random_walk_into(g, origin, first_hop, nhops, rng, &mut scratch);
+    scratch.walk
+}
+
+/// [`random_walk`] into caller-owned buffers: the result lands in
+/// `scratch.walk()`, and no allocation happens beyond the buffers' own
+/// capacity growth (which stops at the overlay's max degree).
+pub fn random_walk_into(
+    g: &impl Adjacency,
+    origin: Slot,
+    first_hop: Slot,
+    nhops: u32,
+    rng: &mut SimRng,
+    scratch: &mut WalkScratch,
+) {
     debug_assert!(g.has_edge(origin, first_hop), "first hop must be a neighbor");
-    let mut path = Vec::with_capacity(nhops as usize + 1);
+    let path = &mut scratch.walk.path;
+    path.clear();
     path.push(origin);
     if nhops == 0 {
-        return WalkPath { path };
+        return;
     }
     path.push(first_hop);
     let mut cur = first_hop;
     for _ in 1..nhops {
-        let candidates: Vec<Slot> =
-            g.neighbors(cur).iter().copied().filter(|n| !path.contains(n)).collect();
-        match rng.pick(&candidates) {
+        scratch.candidates.clear();
+        scratch.candidates.extend(g.neighbors(cur).iter().copied().filter(|n| !path.contains(n)));
+        match rng.pick(&scratch.candidates) {
             Some(&next) => {
                 path.push(next);
                 cur = next;
@@ -67,7 +123,6 @@ pub fn random_walk(
             None => break, // stuck: every neighbor already visited
         }
     }
-    WalkPath { path }
 }
 
 #[cfg(test)]
@@ -159,6 +214,36 @@ mod tests {
             let w2 = random_walk(&view, Slot(0), Slot(1), 6, &mut r2);
             assert_eq!(w1, w2, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn scratch_walk_is_bit_identical_to_facade() {
+        // Reusing one scratch across many walks — including after longer
+        // paths that left stale buffer contents — must consume the RNG and
+        // produce paths exactly as the allocating façade does.
+        let mut g = ring(12);
+        g.add_edge(Slot(0), Slot(6));
+        g.add_edge(Slot(3), Slot(9));
+        let mut scratch = WalkScratch::new();
+        let mut r1 = SimRng::seed_from(99);
+        let mut r2 = SimRng::seed_from(99);
+        for round in 0..40u32 {
+            let nhops = 1 + round % 6;
+            let w1 = random_walk(&g, Slot(0), Slot(1), nhops, &mut r1);
+            random_walk_into(&g, Slot(0), Slot(1), nhops, &mut r2, &mut scratch);
+            assert_eq!(&w1, scratch.walk(), "round {round}");
+        }
+        assert_eq!(r1.range(0u64..u64::MAX), r2.range(0u64..u64::MAX), "streams diverged");
+    }
+
+    #[test]
+    fn set_pair_builds_random_mode_path() {
+        let mut scratch = WalkScratch::new();
+        scratch.set_pair(Slot(4), Slot(7));
+        assert_eq!(scratch.walk().path, vec![Slot(4), Slot(7)]);
+        assert_eq!(scratch.walk().counterpart(1), Some(Slot(7)));
+        scratch.set_pair(Slot(1), Slot(2));
+        assert_eq!(scratch.walk().path, vec![Slot(1), Slot(2)]);
     }
 
     #[test]
